@@ -1,0 +1,109 @@
+// Command beaglebench regenerates every table and figure of the paper's
+// evaluation. Each experiment executes the relevant implementations
+// end-to-end (verifying likelihood correctness) and reports throughput;
+// parallel-hardware timings come from the calibrated device and CPU
+// performance models documented in DESIGN.md, since neither the paper's
+// GPUs nor its 56-thread Xeon host are available to the build machine.
+//
+// Usage:
+//
+//	beaglebench -experiment table3|table4|table5|fig4|fig5|fig6|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gobeagle/internal/benchmarks"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "table3, table4, table5, fig4, fig5, fig6, or all")
+	flag.Parse()
+
+	runners := map[string]func(io.Writer) error{
+		"table3": runTable3,
+		"table4": runTable4,
+		"table5": runTable5,
+		"fig4":   runFig4,
+		"fig5":   runFig5,
+		"fig6":   runFig6,
+	}
+	order := []string{"table3", "table4", "table5", "fig4", "fig5", "fig6"}
+
+	selected := []string{}
+	if *experiment == "all" {
+		selected = order
+	} else if _, ok := runners[*experiment]; ok {
+		selected = []string{*experiment}
+	} else {
+		fmt.Fprintf(os.Stderr, "beaglebench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		if err := runners[name](os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "beaglebench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func runTable3(w io.Writer) error {
+	rows, err := benchmarks.Table3(600)
+	if err != nil {
+		return err
+	}
+	benchmarks.PrintTable3(w, rows)
+	return nil
+}
+
+func runTable4(w io.Writer) error {
+	rows, err := benchmarks.Table4()
+	if err != nil {
+		return err
+	}
+	benchmarks.PrintTable4(w, rows)
+	return nil
+}
+
+func runTable5(w io.Writer) error {
+	rows, err := benchmarks.Table5()
+	if err != nil {
+		return err
+	}
+	benchmarks.PrintTable5(w, rows)
+	return nil
+}
+
+func runFig4(w io.Writer) error {
+	panels, err := benchmarks.Fig4()
+	if err != nil {
+		return err
+	}
+	benchmarks.PrintFig4(w, panels)
+	return nil
+}
+
+func runFig5(w io.Writer) error {
+	points, err := benchmarks.Fig5()
+	if err != nil {
+		return err
+	}
+	benchmarks.PrintFig5(w, points)
+	return nil
+}
+
+func runFig6(w io.Writer) error {
+	rows, err := benchmarks.Fig6()
+	if err != nil {
+		return err
+	}
+	benchmarks.PrintFig6(w, rows)
+	return nil
+}

@@ -1,0 +1,205 @@
+// Command genomictest is the library's synthetic benchmark and correctness
+// program, the Go counterpart of the genomictest tool the paper extends in
+// §V-A: it generates random synthetic datasets of arbitrary size, evaluates
+// the phylogenetic likelihood through any available implementation, reports
+// throughput in effective GFLOPS, and can cross-check every resource against
+// the serial CPU reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"gobeagle"
+	"gobeagle/internal/benchmarks"
+	"gobeagle/internal/flops"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list available resources and exit")
+		recommend = flag.Bool("recommend", false, "rank implementations by expected throughput for this problem shape and exit")
+		check     = flag.Bool("check", false, "verify every resource against the CPU serial reference")
+		taxa      = flag.Int("taxa", 16, "number of taxa (tree tips)")
+		states    = flag.Int("states", 4, "character states: 4 nucleotide, 20 amino acid, 61 codon")
+		patterns  = flag.Int("patterns", 10000, "unique site patterns")
+		cats      = flag.Int("categories", 4, "rate categories (discrete gamma)")
+		reps      = flag.Int("reps", 5, "benchmark repetitions")
+		seed      = flag.Int64("seed", 42, "random seed")
+		resource  = flag.String("resource", "CPU (host)", "resource name (see -list)")
+		framework = flag.String("framework", "", "restrict resource lookup to CUDA or OpenCL")
+		precision = flag.String("precision", "double", "single or double")
+		threading = flag.String("threading", "none", "CPU threading: none, futures, threadcreate, threadpool")
+		sse       = flag.Bool("sse", false, "use the SSE-style 4-state kernels (CPU resource)")
+		noFMA     = flag.Bool("no-fma", false, "build accelerator kernels without fused multiply-add")
+		workGroup = flag.Int("workgroup", 0, "accelerator work-group size in patterns (0 = default)")
+		threads   = flag.Int("threads", 0, "CPU worker threads (0 = all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range gobeagle.ResourceList() {
+			fmt.Println(r)
+		}
+		return
+	}
+
+	if *recommend {
+		recs, err := benchmarks.Recommend(*taxa, *states, *patterns, *cats, *precision == "single")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("expected throughput ranking for %d taxa, %d states, %d patterns, %d categories (%s):\n",
+			*taxa, *states, *patterns, *cats, *precision)
+		for i, r := range recs {
+			fmt.Printf("  %d. %-38s %8.1f GFLOPS\n", i+1, r.Setup, r.GFLOPS)
+		}
+		return
+	}
+
+	flags, err := buildFlags(*precision, *threading, *sse, *noFMA)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := benchmarks.NewProblem(*seed, *taxa, *states, *patterns, *cats)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("genomictest: %d taxa, %d states, %d patterns, %d categories, %s precision\n",
+		*taxa, *states, *patterns, *cats, *precision)
+
+	if *check {
+		if err := crossCheck(p, flags); err != nil {
+			fatal(err)
+		}
+		fmt.Println("all resources agree with the CPU serial reference")
+		return
+	}
+
+	rsc, err := gobeagle.FindResource(*resource, *framework)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := p.InstanceConfig(rsc.ID, flags)
+	cfg.WorkGroupSize = *workGroup
+	cfg.Threads = *threads
+	inst, err := gobeagle.NewInstance(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer inst.Finalize()
+	fmt.Printf("implementation: %s\n", inst.Implementation())
+
+	if err := p.Load(inst); err != nil {
+		fatal(err)
+	}
+	mats, lens, ops, root := p.Schedule()
+	if err := inst.UpdateTransitionMatrices(0, mats, lens); err != nil {
+		fatal(err)
+	}
+	best := time.Duration(math.MaxInt64)
+	var lnL float64
+	for r := 0; r < *reps; r++ {
+		start := time.Now()
+		if err := inst.UpdatePartials(ops); err != nil {
+			fatal(err)
+		}
+		lnL, err = inst.CalculateRootLogLikelihoods(root, gobeagle.None)
+		if err != nil {
+			fatal(err)
+		}
+		if e := time.Since(start); e < best {
+			best = e
+		}
+	}
+	fmt.Printf("log likelihood: %.6f\n", lnL)
+	fmt.Printf("best evaluation: %v\n", best)
+	fmt.Printf("measured throughput: %.2f GFLOPS (effective)\n",
+		flops.GFLOPS(p.FlopsPerEval(), best))
+	if q := inst.DeviceQueue(); q != nil {
+		fmt.Printf("device: %d kernel launches, %d bytes transferred, modeled device time %v\n",
+			q.Launches(), q.BytesTransferred(), q.ModeledTime())
+	}
+}
+
+func buildFlags(precision, threading string, sse, noFMA bool) (gobeagle.Flags, error) {
+	var f gobeagle.Flags
+	switch precision {
+	case "single":
+		f |= gobeagle.FlagPrecisionSingle
+	case "double":
+	default:
+		return 0, fmt.Errorf("unknown precision %q", precision)
+	}
+	switch threading {
+	case "none", "":
+	case "futures":
+		f |= gobeagle.FlagThreadingFutures
+	case "threadcreate":
+		f |= gobeagle.FlagThreadingThreadCreate
+	case "threadpool":
+		f |= gobeagle.FlagThreadingThreadPool
+	default:
+		return 0, fmt.Errorf("unknown threading %q", threading)
+	}
+	if sse {
+		f |= gobeagle.FlagVectorSSE
+	}
+	if noFMA {
+		f |= gobeagle.FlagDisableFMA
+	}
+	return f, nil
+}
+
+// crossCheck evaluates the problem on every resource and compares against
+// resource 0 with the serial implementation.
+func crossCheck(p *benchmarks.Problem, flags gobeagle.Flags) error {
+	var want float64
+	for i, r := range gobeagle.ResourceList() {
+		inst, err := gobeagle.NewInstance(p.InstanceConfig(r.ID, flags))
+		if err != nil {
+			return fmt.Errorf("resource %s: %w", r.Name, err)
+		}
+		if err := p.Load(inst); err != nil {
+			inst.Finalize()
+			return err
+		}
+		mats, lens, ops, root := p.Schedule()
+		if err := inst.UpdateTransitionMatrices(0, mats, lens); err != nil {
+			inst.Finalize()
+			return err
+		}
+		if err := inst.UpdatePartials(ops); err != nil {
+			inst.Finalize()
+			return err
+		}
+		lnL, err := inst.CalculateRootLogLikelihoods(root, gobeagle.None)
+		name := inst.Implementation()
+		inst.Finalize()
+		if err != nil {
+			return err
+		}
+		tol := 1e-8
+		if flags&gobeagle.FlagPrecisionSingle != 0 {
+			tol = 1e-3
+		}
+		if i == 0 {
+			want = lnL
+		} else if math.Abs(lnL-want) > tol*math.Abs(want) {
+			return fmt.Errorf("%s on %s: lnL %v differs from reference %v",
+				name, r.Name, lnL, want)
+		}
+		fmt.Printf("  %-45s lnL = %.6f  ok\n",
+			fmt.Sprintf("%s (%s)", name, strings.TrimSpace(r.Framework+" "+r.Name)), lnL)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genomictest:", err)
+	os.Exit(1)
+}

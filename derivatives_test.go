@@ -1,0 +1,105 @@
+package gobeagle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gobeagle/internal/device"
+	"gobeagle/internal/seqgen"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/tree"
+)
+
+// TestEdgeDerivativesAgreeAcrossImplementations checks that
+// UpdateTransitionDerivatives + CalculateEdgeDerivatives give the same
+// answers on the CPU, on a simulated device, and on a multi-device instance.
+func TestEdgeDerivativesAgreeAcrossImplementations(t *testing.T) {
+	device.ResetPlatforms()
+	rng := rand.New(rand.NewSource(44))
+	tr, err := tree.ParseNewick("(a:0.15,b:0.25);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := substmodel.NewHKY85(2, []float64{0.3, 0.2, 0.25, 0.25})
+	rates, _ := substmodel.GammaRates(0.6, 2)
+	align, err := seqgen.Simulate(rng, tr, m, rates, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := seqgen.CompressPatterns(align)
+
+	cfg := instanceConfig(tr, 4, ps.PatternCount(), 2, 0, 0)
+	cfg.MatrixBuffers = 6
+
+	eval := func(inst *Instance) (float64, float64, float64) {
+		t.Helper()
+		ed, err := m.Eigen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := []error{
+			inst.SetEigenDecomposition(0, ed.Values, ed.Vectors.Data, ed.InverseVectors.Data),
+			inst.SetCategoryRates(rates.Rates),
+			inst.SetCategoryWeights(rates.Weights),
+			inst.SetStateFrequencies(m.Frequencies),
+			inst.SetPatternWeights(ps.Weights),
+			inst.SetTipPartials(0, ps.TipPartials(0)),
+			inst.SetTipPartials(1, ps.TipPartials(1)),
+			inst.UpdateTransitionMatrices(0, []int{3}, []float64{0.4}),
+			inst.UpdateTransitionDerivatives(0, []int{4}, []int{5}, []float64{0.4}),
+		}
+		for _, err := range steps {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		lnL, d1, d2, err := inst.CalculateEdgeDerivatives(0, 1, 3, 4, 5, None)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lnL, d1, d2
+	}
+
+	ref, err := NewInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Finalize()
+	wantL, wantD1, wantD2 := eval(ref)
+	if wantD1 == 0 || wantD2 >= 0 {
+		t.Fatalf("suspicious reference derivatives %v %v", wantD1, wantD2)
+	}
+
+	amd, err := FindResource("Radeon R9 Nano", "OpenCL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	devCfg := cfg
+	devCfg.ResourceID = amd.ID
+	devInst, err := NewInstance(devCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devInst.Finalize()
+	gotL, gotD1, gotD2 := eval(devInst)
+	if math.Abs(gotL-wantL) > 1e-8*math.Abs(wantL) ||
+		math.Abs(gotD1-wantD1) > 1e-8*(1+math.Abs(wantD1)) ||
+		math.Abs(gotD2-wantD2) > 1e-8*(1+math.Abs(wantD2)) {
+		t.Fatalf("device derivatives (%v %v %v) differ from CPU (%v %v %v)",
+			gotL, gotD1, gotD2, wantL, wantD1, wantD2)
+	}
+
+	multi, err := NewMultiDeviceInstance(cfg, []int{0, amd.ID}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Finalize()
+	mL, mD1, mD2 := eval(multi)
+	if math.Abs(mL-wantL) > 1e-8*math.Abs(wantL) ||
+		math.Abs(mD1-wantD1) > 1e-8*(1+math.Abs(wantD1)) ||
+		math.Abs(mD2-wantD2) > 1e-8*(1+math.Abs(wantD2)) {
+		t.Fatalf("multi-device derivatives (%v %v %v) differ from CPU (%v %v %v)",
+			mL, mD1, mD2, wantL, wantD1, wantD2)
+	}
+}

@@ -1,0 +1,136 @@
+// multidevice: a single library instance whose likelihood computation is
+// load-balanced across several compute resources at once — the extension the
+// paper's conclusion plans as future work (§IX). Site patterns are split
+// proportionally to each resource's expected throughput; every API call
+// works transparently on the combined instance, and the result is bitwise
+// comparable to a single-resource evaluation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"gobeagle"
+	"gobeagle/internal/seqgen"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/tree"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	tr, err := tree.Random(rng, 10, 0.12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := substmodel.NewGTR(
+		[]float64{1.1, 2.9, 0.9, 1.0, 3.2, 1.0},
+		[]float64{0.3, 0.2, 0.25, 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates, err := substmodel.GammaRates(0.5, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	align, err := seqgen.Simulate(rng, tr, model, rates, 4000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps := seqgen.CompressPatterns(align)
+	fmt.Printf("data: %d taxa, %d unique patterns\n", tr.TipCount, ps.PatternCount())
+
+	cfg := gobeagle.Config{
+		TipCount:        tr.TipCount,
+		PartialsBuffers: tr.NodeCount(),
+		MatrixBuffers:   tr.NodeCount(),
+		EigenBuffers:    1,
+		StateCount:      4,
+		PatternCount:    ps.PatternCount(),
+		CategoryCount:   4,
+	}
+
+	// Reference: a single-resource instance on the host CPU.
+	single, err := gobeagle.NewInstance(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer single.Finalize()
+	refLnL := evaluate(single, tr, model, rates, ps)
+	fmt.Printf("single resource  [%s]\n  lnL = %.6f\n", single.Implementation(), refLnL)
+
+	// One logical instance spanning the host CPU and two GPUs; shares are
+	// derived from each resource's peak throughput by default.
+	gpu1, err := gobeagle.FindResource("Radeon R9 Nano", "OpenCL")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpu2, err := gobeagle.FindResource("Quadro P5000", "CUDA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	multi, err := gobeagle.NewMultiDeviceInstance(cfg, []int{0, gpu1.ID, gpu2.ID}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer multi.Finalize()
+	multiLnL := evaluate(multi, tr, model, rates, ps)
+	fmt.Printf("multi-device     [%s]\n  lnL = %.6f\n", multi.Implementation(), multiLnL)
+
+	if math.Abs(multiLnL-refLnL) > 1e-8*math.Abs(refLnL) {
+		log.Fatalf("results disagree: %v vs %v", multiLnL, refLnL)
+	}
+	fmt.Println("single-resource and multi-device results agree")
+}
+
+// evaluate performs one complete likelihood evaluation on an instance.
+func evaluate(inst *gobeagle.Instance, tr *tree.Tree, model *substmodel.Model,
+	rates *substmodel.SiteRates, ps *seqgen.PatternSet) float64 {
+	ed, err := model.Eigen()
+	if err != nil {
+		log.Fatal(err)
+	}
+	steps := []error{
+		inst.SetEigenDecomposition(0, ed.Values, ed.Vectors.Data, ed.InverseVectors.Data),
+		inst.SetCategoryRates(rates.Rates),
+		inst.SetCategoryWeights(rates.Weights),
+		inst.SetStateFrequencies(model.Frequencies),
+		inst.SetPatternWeights(ps.Weights),
+	}
+	for _, err := range steps {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < tr.TipCount; i++ {
+		if err := inst.SetTipStates(i, ps.TipStates(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sched := tr.FullSchedule()
+	mats := make([]int, len(sched.Matrices))
+	lens := make([]float64, len(sched.Matrices))
+	for i, mu := range sched.Matrices {
+		mats[i], lens[i] = mu.Matrix, mu.Length
+	}
+	if err := inst.UpdateTransitionMatrices(0, mats, lens); err != nil {
+		log.Fatal(err)
+	}
+	ops := make([]gobeagle.Operation, len(sched.Ops))
+	for i, op := range sched.Ops {
+		ops[i] = gobeagle.Operation{
+			Destination: op.Dest, DestScaleWrite: gobeagle.None, DestScaleRead: gobeagle.None,
+			Child1: op.Child1, Child1Matrix: op.Child1Mat,
+			Child2: op.Child2, Child2Matrix: op.Child2Mat,
+		}
+	}
+	if err := inst.UpdatePartials(ops); err != nil {
+		log.Fatal(err)
+	}
+	lnL, err := inst.CalculateRootLogLikelihoods(sched.Root, gobeagle.None)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return lnL
+}

@@ -1,0 +1,64 @@
+package gobeagle
+
+import "strings"
+
+// Flags select implementation preferences when creating an instance,
+// following the spirit of the BEAGLE_FLAG_* constants: precision, CPU
+// vectorization, the CPU threading model, and accelerator kernel options.
+type Flags uint64
+
+// Instance creation flags.
+const (
+	// FlagPrecisionSingle computes in float32; the default is float64.
+	FlagPrecisionSingle Flags = 1 << iota
+	// FlagVectorSSE uses the 4-state unrolled (SSE-style) kernels on the
+	// CPU resource. Ignored for non-nucleotide state counts.
+	FlagVectorSSE
+	// FlagThreadingFutures uses per-operation asynchronous tasks (§VI-A).
+	FlagThreadingFutures
+	// FlagThreadingThreadCreate creates threads per call across site
+	// patterns (§VI-B).
+	FlagThreadingThreadCreate
+	// FlagThreadingThreadPool uses a persistent worker pool (§VI-C); the
+	// best-performing CPU threading model in the paper.
+	FlagThreadingThreadPool
+	// FlagDisableFMA builds accelerator kernels without fused multiply–add,
+	// the Table IV ablation.
+	FlagDisableFMA
+	// FlagKernelGPU forces the GPU-style one-work-item-per-entry kernels on
+	// a CPU-class OpenCL device (the "OpenCL-GPU on Xeon" row of Table V).
+	FlagKernelGPU
+	// FlagKernelX86 forces the loop-over-states x86 kernels on a GPU
+	// device; chiefly for experimentation.
+	FlagKernelX86
+)
+
+// threadingFlags lists the mutually exclusive CPU threading selections.
+const threadingFlags = FlagThreadingFutures | FlagThreadingThreadCreate | FlagThreadingThreadPool
+
+// String renders the set flags for diagnostics.
+func (f Flags) String() string {
+	if f == 0 {
+		return "none"
+	}
+	names := []struct {
+		bit  Flags
+		name string
+	}{
+		{FlagPrecisionSingle, "PRECISION_SINGLE"},
+		{FlagVectorSSE, "VECTOR_SSE"},
+		{FlagThreadingFutures, "THREADING_FUTURES"},
+		{FlagThreadingThreadCreate, "THREADING_THREAD_CREATE"},
+		{FlagThreadingThreadPool, "THREADING_THREAD_POOL"},
+		{FlagDisableFMA, "NO_FMA"},
+		{FlagKernelGPU, "KERNEL_GPU"},
+		{FlagKernelX86, "KERNEL_X86"},
+	}
+	var out []string
+	for _, n := range names {
+		if f&n.bit != 0 {
+			out = append(out, n.name)
+		}
+	}
+	return strings.Join(out, "|")
+}

@@ -1,0 +1,3 @@
+module gobeagle
+
+go 1.22

@@ -1,0 +1,323 @@
+// Package accelimpl is the accelerator model of the library (Fig. 3): one
+// implementation base that drives the shared kernel set through the single
+// internal hardware interface of internal/device, with an implementation
+// available for each framework (CUDA and OpenCL) and hardware-specific
+// kernel variants:
+//
+//   - CUDA and OpenCL-GPU use the GPU-style kernels — one work-item per
+//     partials entry (Fig. 2) — with work-group pattern counts limited by
+//     the device's local memory (§VII-B1) and FMA kernel builds on hardware
+//     that advertises fast fused multiply–add;
+//   - OpenCL-x86 uses the loop-over-states kernels where each work-item
+//     computes a whole pattern, avoids explicit local memory, and takes a
+//     configurable work-group size in patterns (§VII-B2, Table V).
+//
+// All data lives in device buffers; transition-matrix computation, partials
+// updates, rescaling and site-likelihood integration all run as device
+// kernels so that only scalar results cross the host↔device boundary, as the
+// paper's design requires (§IV-F).
+package accelimpl
+
+import (
+	"errors"
+	"fmt"
+
+	"gobeagle/internal/device"
+	"gobeagle/internal/engine"
+	"gobeagle/internal/kernels"
+)
+
+// Variant selects the hardware-specific kernel configuration.
+type Variant int
+
+// Accelerator implementation variants.
+const (
+	CUDA Variant = iota
+	OpenCLGPU
+	OpenCLX86
+)
+
+// String returns the implementation name used in resource listings.
+func (v Variant) String() string {
+	switch v {
+	case CUDA:
+		return "CUDA"
+	case OpenCLGPU:
+		return "OpenCL-GPU"
+	case OpenCLX86:
+		return "OpenCL-x86"
+	default:
+		return fmt.Sprintf("Accel-unknown(%d)", int(v))
+	}
+}
+
+// Efficiency penalties applied to the device's peak rate when kernels are
+// built without FMA on FMA-capable hardware, calibrated to Table IV's
+// observed gains (≈1.8% single, ≈10–12% double precision).
+const (
+	noFMAEfficiencySingle = 0.982
+	noFMAEfficiencyDouble = 0.90
+)
+
+// defaultGPUPatternsPerGroup is the GPU work-group size in patterns before
+// the local-memory limit is applied (64 patterns × 4 states = 256 work-items
+// per group for nucleotide models, a typical GPU block size).
+const defaultGPUPatternsPerGroup = 64
+
+// defaultX86PatternsPerGroup is the x86 work-group size in patterns; the
+// paper selects 256 as the smallest size with peak throughput (Table V).
+const defaultX86PatternsPerGroup = 256
+
+// New creates an accelerator engine of the given variant on the given
+// device, instantiated for the precision in the configuration.
+func New(cfg engine.Config, variant Variant, dev *device.Device) (engine.Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dev == nil {
+		return nil, errors.New("accelimpl: nil device")
+	}
+	switch variant {
+	case CUDA:
+		if dev.Framework != device.CUDA {
+			return nil, fmt.Errorf("accelimpl: CUDA variant requires a CUDA device, got %s %s", dev.Framework, dev.Desc.Name)
+		}
+	case OpenCLGPU, OpenCLX86:
+		if dev.Framework != device.OpenCL {
+			return nil, fmt.Errorf("accelimpl: %s variant requires an OpenCL device, got %s %s", variant, dev.Framework, dev.Desc.Name)
+		}
+	default:
+		return nil, fmt.Errorf("accelimpl: unknown variant %d", int(variant))
+	}
+	if cfg.SinglePrecision {
+		return newEngine[float32](cfg, variant, dev)
+	}
+	return newEngine[float64](cfg, variant, dev)
+}
+
+// Engine is an accelerator implementation of engine.Engine.
+type Engine[T kernels.Real] struct {
+	cfg     engine.Config
+	variant Variant
+	dev     *device.Device
+	q       *device.Queue
+
+	partials   []*device.Buffer[T]
+	tipStates  []*device.Buffer[int32]
+	matrixPool *device.Buffer[T]
+	matrices   []*device.Buffer[T] // sub-buffer views into matrixPool
+	matSet     []bool
+	scale      []*device.Buffer[float64]
+	siteBuf    *device.Buffer[float64]
+
+	eigens   []*kernels.Eigen
+	catRates []float64
+	catWts   []float64
+	freqs    []float64
+	patWts   []float64
+
+	useFMA     bool
+	groupPats  int // patterns per work-group after local-memory limits
+	efficiency float64
+	closed     bool
+}
+
+func newEngine[T kernels.Real](cfg engine.Config, variant Variant, dev *device.Device) (*Engine[T], error) {
+	e := &Engine[T]{
+		cfg:      cfg,
+		variant:  variant,
+		dev:      dev,
+		q:        dev.NewQueue(cfg.SinglePrecision),
+		eigens:   make([]*kernels.Eigen, cfg.EigenBuffers),
+		catRates: make([]float64, cfg.Dims.CategoryCount),
+		catWts:   make([]float64, cfg.Dims.CategoryCount),
+		freqs:    make([]float64, cfg.Dims.StateCount),
+		patWts:   make([]float64, cfg.Dims.PatternCount),
+	}
+	for i := range e.catRates {
+		e.catRates[i] = 1
+		e.catWts[i] = 1 / float64(cfg.Dims.CategoryCount)
+	}
+	for i := range e.freqs {
+		e.freqs[i] = 1 / float64(cfg.Dims.StateCount)
+	}
+	for i := range e.patWts {
+		e.patWts[i] = 1
+	}
+
+	e.useFMA = dev.Desc.SupportsFMA && !cfg.DisableFMA
+	e.efficiency = 1
+	if dev.Desc.SupportsFMA && !e.useFMA {
+		if cfg.SinglePrecision {
+			e.efficiency = noFMAEfficiencySingle
+		} else {
+			e.efficiency = noFMAEfficiencyDouble
+		}
+	}
+
+	// Work-group geometry. GPU variants stage both children's partials in
+	// local memory, so the device's local-memory size bounds the patterns
+	// per group (§VII-B1); the x86 variant lets the compiler manage caching
+	// and uses large pattern groups (§VII-B2).
+	req := cfg.WorkGroupSize
+	if req <= 0 {
+		if variant == OpenCLX86 {
+			req = defaultX86PatternsPerGroup
+		} else {
+			req = defaultGPUPatternsPerGroup
+		}
+	}
+	if variant == OpenCLX86 {
+		e.groupPats = req
+	} else {
+		e.groupPats = dev.Desc.MaxPatternsPerGroup(req, cfg.Dims.StateCount, cfg.SinglePrecision)
+	}
+
+	// Device allocations.
+	d := cfg.Dims
+	e.partials = make([]*device.Buffer[T], cfg.PartialsBuffers)
+	e.tipStates = make([]*device.Buffer[int32], cfg.TipCount)
+	e.scale = make([]*device.Buffer[float64], cfg.ScaleBuffers)
+	var err error
+	e.siteBuf, err = device.Alloc[float64](dev, d.PatternCount)
+	if err != nil {
+		return nil, err
+	}
+	// Transition matrices are pooled into one allocation with an aligned
+	// stride per matrix, addressed through framework-appropriate
+	// sub-buffers (§VII-A): pointer arithmetic under CUDA,
+	// clCreateSubBuffer under OpenCL.
+	stride := e.alignedStride(d.MatrixLen())
+	e.matrixPool, err = device.Alloc[T](dev, stride*cfg.MatrixBuffers)
+	if err != nil {
+		e.freeAll()
+		return nil, err
+	}
+	e.matrices = make([]*device.Buffer[T], cfg.MatrixBuffers)
+	e.matSet = make([]bool, cfg.MatrixBuffers)
+	for i := range e.matrices {
+		var sub *device.Buffer[T]
+		if dev.Framework == device.CUDA {
+			sub, err = e.matrixPool.SubCUDA(i*stride, d.MatrixLen())
+		} else {
+			sub, err = e.matrixPool.SubOpenCL(i*stride, d.MatrixLen())
+		}
+		if err != nil {
+			e.freeAll()
+			return nil, err
+		}
+		e.matrices[i] = sub
+	}
+	return e, nil
+}
+
+// alignedStride rounds a matrix length up so every sub-buffer origin
+// satisfies the device's base alignment.
+func (e *Engine[T]) alignedStride(n int) int {
+	var zero T
+	elem := 8
+	if _, ok := any(zero).(float32); ok {
+		elem = 4
+	}
+	align := e.dev.Desc.BaseAlign
+	if align <= elem {
+		return n
+	}
+	per := align / elem
+	return (n + per - 1) / per * per
+}
+
+// Name identifies the implementation and its device.
+func (e *Engine[T]) Name() string {
+	return fmt.Sprintf("%s: %s", e.variant, e.dev.Desc.Name)
+}
+
+// Queue exposes the engine's command queue for benchmark instrumentation.
+func (e *Engine[T]) Queue() *device.Queue { return e.q }
+
+// GroupPatterns returns the effective work-group size in patterns after
+// device limits, for tests and benchmark reporting.
+func (e *Engine[T]) GroupPatterns() int { return e.groupPats }
+
+func (e *Engine[T]) freeAll() {
+	for _, b := range e.partials {
+		if b != nil {
+			b.Free()
+		}
+	}
+	for _, b := range e.tipStates {
+		if b != nil {
+			b.Free()
+		}
+	}
+	for _, b := range e.scale {
+		if b != nil {
+			b.Free()
+		}
+	}
+	if e.siteBuf != nil {
+		e.siteBuf.Free()
+	}
+	if e.matrixPool != nil {
+		e.matrixPool.Free()
+	}
+}
+
+// Close releases all device memory.
+func (e *Engine[T]) Close() error {
+	if e.closed {
+		return errors.New("accelimpl: engine already closed")
+	}
+	e.closed = true
+	e.freeAll()
+	return nil
+}
+
+func (e *Engine[T]) checkPartialsIndex(buf int) error {
+	if buf < 0 || buf >= len(e.partials) {
+		return fmt.Errorf("accelimpl: partials buffer %d out of range [0,%d)", buf, len(e.partials))
+	}
+	return nil
+}
+
+func (e *Engine[T]) checkMatrixIndex(m int) error {
+	if m < 0 || m >= len(e.matrices) {
+		return fmt.Errorf("accelimpl: matrix buffer %d out of range [0,%d)", m, len(e.matrices))
+	}
+	return nil
+}
+
+func (e *Engine[T]) checkScaleIndex(b int) error {
+	if b < 0 || b >= len(e.scale) {
+		return fmt.Errorf("accelimpl: scale buffer %d out of range [0,%d)", b, len(e.scale))
+	}
+	return nil
+}
+
+func (e *Engine[T]) ensurePartials(buf int) (*device.Buffer[T], error) {
+	if err := e.checkPartialsIndex(buf); err != nil {
+		return nil, err
+	}
+	if e.partials[buf] == nil {
+		b, err := device.Alloc[T](e.dev, e.cfg.Dims.PartialsLen())
+		if err != nil {
+			return nil, err
+		}
+		e.partials[buf] = b
+	}
+	return e.partials[buf], nil
+}
+
+func (e *Engine[T]) ensureScale(buf int) (*device.Buffer[float64], error) {
+	if err := e.checkScaleIndex(buf); err != nil {
+		return nil, err
+	}
+	if e.scale[buf] == nil {
+		b, err := device.Alloc[float64](e.dev, e.cfg.Dims.PatternCount)
+		if err != nil {
+			return nil, err
+		}
+		e.scale[buf] = b
+	}
+	return e.scale[buf], nil
+}

@@ -1,0 +1,197 @@
+package accelimpl
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gobeagle/internal/cpuimpl"
+	"gobeagle/internal/device"
+	"gobeagle/internal/engine"
+	"gobeagle/internal/seqgen"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/tree"
+)
+
+// TestAccelSurfaceParityWithCPU drives the remaining API surface — partials
+// and matrix round trips, per-site log likelihoods, edge likelihoods and
+// edge derivatives — on a simulated device and checks exact agreement with
+// the CPU serial engine.
+func TestAccelSurfaceParityWithCPU(t *testing.T) {
+	device.ResetPlatforms()
+	rng := rand.New(rand.NewSource(91))
+	tr, err := tree.ParseNewick("((a:0.1,b:0.2):0.07,(c:0.15,d:0.05):0.09);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := substmodel.NewHKY85(2, []float64{0.3, 0.2, 0.25, 0.25})
+	rates, _ := substmodel.GammaRates(0.7, 2)
+	align, _ := seqgen.Simulate(rng, tr, m, rates, 200)
+	ps := seqgen.CompressPatterns(align)
+
+	cfg := testConfig(tr, 4, ps.PatternCount(), 2, false)
+	cfg.MatrixBuffers = 12
+	dev, _ := device.FindDevice(device.OpenCL, "FirePro S9170")
+	acc, err := New(cfg, OpenCLGPU, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc.Close()
+	cpu, err := cpuimpl.New(cfg, cpuimpl.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpu.Close()
+
+	if !strings.Contains(acc.Name(), "OpenCL-GPU") {
+		t.Fatalf("name %q", acc.Name())
+	}
+
+	// Drive both with expanded tips (needed for edge calls on tips).
+	for _, e := range []engine.Engine{acc, cpu} {
+		driveEngine(t, e, tr, m, rates, ps, false, false)
+	}
+
+	// GetPartials parity at the root.
+	root := tr.Root.Index
+	pa, err := acc.GetPartials(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := cpu.GetPartials(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pa {
+		if math.Abs(pa[i]-pc[i]) > 1e-12 {
+			t.Fatalf("partials mismatch at %d: %v vs %v", i, pa[i], pc[i])
+		}
+	}
+
+	// SetPartials/GetPartials round trip on a spare buffer index.
+	in := make([]float64, cfg.Dims.PartialsLen())
+	for i := range in {
+		in[i] = rng.Float64()
+	}
+	if err := acc.SetPartials(root, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := acc.GetPartials(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("partials round trip mismatch at %d", i)
+		}
+	}
+	// Restore computed state for the likelihood checks below.
+	driveEngine(t, acc, tr, m, rates, ps, false, false)
+
+	// SetTransitionMatrix/GetTransitionMatrix round trip.
+	mat := make([]float64, cfg.Dims.MatrixLen())
+	for i := range mat {
+		mat[i] = rng.Float64()
+	}
+	if err := acc.SetTransitionMatrix(9, mat); err != nil {
+		t.Fatal(err)
+	}
+	back, err := acc.GetTransitionMatrix(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mat {
+		if mat[i] != back[i] {
+			t.Fatalf("matrix round trip mismatch at %d", i)
+		}
+	}
+
+	// SiteLogLikelihoods parity.
+	sa, err := acc.SiteLogLikelihoods(root, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := cpu.SiteLogLikelihoods(root, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sa {
+		if math.Abs(sa[i]-sc[i]) > 1e-10 {
+			t.Fatalf("site lnL mismatch at %d: %v vs %v", i, sa[i], sc[i])
+		}
+	}
+
+	// Edge log likelihood parity across the root's joined branch.
+	joined := tr.Root.Left.Length + tr.Root.Right.Length
+	for _, e := range []engine.Engine{acc, cpu} {
+		if err := e.UpdateTransitionMatrices(0, []int{10}, []float64{joined}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	la, err := acc.CalculateEdgeLogLikelihoods(tr.Root.Left.Index, tr.Root.Right.Index, 10, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := cpu.CalculateEdgeLogLikelihoods(tr.Root.Left.Index, tr.Root.Right.Index, 10, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(la-lc) > 1e-10*math.Abs(lc) {
+		t.Fatalf("edge lnL %v vs %v", la, lc)
+	}
+
+	// Edge derivatives parity.
+	for _, e := range []engine.Engine{acc, cpu} {
+		if err := e.UpdateTransitionDerivatives(0, []int{11}, []int{8}, []float64{joined}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lnA, d1A, d2A, err := acc.CalculateEdgeDerivatives(tr.Root.Left.Index, tr.Root.Right.Index, 10, 11, 8, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnC, d1C, d2C, err := cpu.CalculateEdgeDerivatives(tr.Root.Left.Index, tr.Root.Right.Index, 10, 11, 8, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lnA-lnC) > 1e-10*math.Abs(lnC) ||
+		math.Abs(d1A-d1C) > 1e-9*(1+math.Abs(d1C)) ||
+		math.Abs(d2A-d2C) > 1e-9*(1+math.Abs(d2C)) {
+		t.Fatalf("edge derivatives (%v %v %v) vs CPU (%v %v %v)", lnA, d1A, d2A, lnC, d1C, d2C)
+	}
+}
+
+func TestAccelSurfaceErrors(t *testing.T) {
+	device.ResetPlatforms()
+	rng := rand.New(rand.NewSource(92))
+	tr, _ := tree.Random(rng, 4, 0.1)
+	dev, _ := device.FindDevice(device.OpenCL, "Radeon R9 Nano")
+	cfg := testConfig(tr, 4, 10, 1, false)
+	e, err := New(cfg, OpenCLGPU, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.SetPartials(0, make([]float64, 3)); err == nil {
+		t.Error("wrong partials length must error")
+	}
+	if err := e.SetTransitionMatrix(0, make([]float64, 3)); err == nil {
+		t.Error("wrong matrix length must error")
+	}
+	if err := e.SetTransitionMatrix(99, make([]float64, cfg.Dims.MatrixLen())); err == nil {
+		t.Error("bad matrix index must error")
+	}
+	if _, err := e.SiteLogLikelihoods(0, engine.None); err == nil {
+		t.Error("unset root buffer must error")
+	}
+	if _, _, _, err := e.CalculateEdgeDerivatives(0, 1, 0, 1, engine.None, engine.None); err == nil {
+		t.Error("unloaded buffers must error")
+	}
+	if err := e.UpdateTransitionDerivatives(0, []int{0}, nil, []float64{0.1}); err == nil {
+		t.Error("empty eigen slot must error")
+	}
+	if err := e.UpdateTransitionDerivatives(99, []int{0}, nil, []float64{0.1}); err == nil {
+		t.Error("bad eigen slot must error")
+	}
+}

@@ -1,0 +1,56 @@
+package benchmarks
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecommendSmallProblemFavorsCPU(t *testing.T) {
+	recs, err := Recommend(16, 4, 200, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 5 {
+		t.Fatalf("recommendation count %d", len(recs))
+	}
+	best := recs[0]
+	if !strings.Contains(best.Resource, "CPU") && !strings.Contains(best.Resource, "Xeon") {
+		t.Errorf("small problem should favor a CPU, got %s (%.1f GFLOPS)", best.Setup, best.GFLOPS)
+	}
+	// Sorted best-first.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].GFLOPS > recs[i-1].GFLOPS {
+			t.Fatal("recommendations not sorted")
+		}
+	}
+}
+
+func TestRecommendLargeNucleotideFavorsGPU(t *testing.T) {
+	recs, err := Recommend(16, 4, 500000, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := recs[0]
+	if !strings.Contains(best.Setup, "GPU") && !strings.Contains(best.Setup, "CUDA") {
+		t.Errorf("large nucleotide problem should favor a GPU, got %s (%.1f GFLOPS)", best.Setup, best.GFLOPS)
+	}
+}
+
+func TestRecommendCodonFavorsAcceleratorsEarlier(t *testing.T) {
+	// At a medium pattern count, codon models should already prefer an
+	// accelerator while the decision point shifts with model type.
+	recs, err := Recommend(16, 61, 5000, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := recs[0]
+	if strings.Contains(best.Setup, "thread-pool") {
+		t.Errorf("codon at 5k patterns should prefer an accelerator, got %s", best.Setup)
+	}
+}
+
+func TestRecommendPropagatesErrors(t *testing.T) {
+	if _, err := Recommend(1, 4, 100, 1, true); err == nil {
+		t.Fatal("invalid problem must error")
+	}
+}

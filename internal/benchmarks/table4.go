@@ -1,0 +1,65 @@
+package benchmarks
+
+import (
+	"fmt"
+	"io"
+
+	"gobeagle"
+)
+
+// Table4Row is one row of Table IV: the fused-multiply-add optimization of
+// the OpenCL-GPU kernels on the AMD Radeon R9 Nano.
+type Table4Row struct {
+	Precision   string
+	Patterns    int
+	WithoutFMA  float64 // GFLOPS
+	WithFMA     float64
+	PercentGain float64
+}
+
+// Table4 reproduces Table IV: partial-likelihoods kernel throughput with and
+// without the FP_FAST_FMA kernel build, single and double precision, at 10⁴
+// and 10⁵ patterns on the R9 Nano (4 rate categories, nucleotide model).
+func Table4() ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, prec := range []struct {
+		name string
+		flag gobeagle.Flags
+	}{{"single", gobeagle.FlagPrecisionSingle}, {"double", 0}} {
+		for _, patterns := range []int{10000, 100000} {
+			p, err := NewProblem(77, 16, 4, patterns, 4)
+			if err != nil {
+				return nil, err
+			}
+			without, err := DeviceEval(p, "Radeon R9 Nano", "OpenCL",
+				prec.flag|gobeagle.FlagDisableFMA, 0, 3)
+			if err != nil {
+				return nil, err
+			}
+			with, err := DeviceEval(p, "Radeon R9 Nano", "OpenCL", prec.flag, 0, 3)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table4Row{
+				Precision:   prec.name,
+				Patterns:    patterns,
+				WithoutFMA:  without,
+				WithFMA:     with,
+				PercentGain: (with/without - 1) * 100,
+			})
+		}
+	}
+	// Present in the paper's order: single/double at 10⁴, then at 10⁵.
+	ordered := []Table4Row{rows[0], rows[2], rows[1], rows[3]}
+	return ordered, nil
+}
+
+// PrintTable4 renders the rows in the paper's layout.
+func PrintTable4(w io.Writer, rows []Table4Row) {
+	fmt.Fprintln(w, "Table IV: OpenCL-GPU FMA optimization (AMD Radeon R9 Nano)")
+	fmt.Fprintln(w, "precision  patterns   without-FMA   with-FMA   % gain")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s  %8d  %12.2f  %9.2f  %6.2f\n",
+			r.Precision, r.Patterns, r.WithoutFMA, r.WithFMA, r.PercentGain)
+	}
+}

@@ -1,0 +1,59 @@
+package benchmarks
+
+import (
+	"fmt"
+	"io"
+
+	"gobeagle"
+)
+
+// Table5Row is one row of Table V: the OpenCL-x86 work-group size sweep on
+// the dual Xeon E5-2680v4, against the OpenCL-GPU kernel style as reference.
+type Table5Row struct {
+	Solution   string
+	WorkGroup  int     // patterns per work-group
+	Throughput float64 // GFLOPS
+	Speedup    float64 // relative to the OpenCL-GPU-style kernels on the CPU
+}
+
+// Table5 reproduces Table V: the GPU-style kernels on the CPU device as the
+// reference row, then the x86 kernels across work-group sizes (single
+// precision, nucleotide model, 10⁴ patterns). Peak is expected at ≥256
+// patterns per work-group, and the paper selects 256 as the smallest size
+// with near-peak performance to minimize pattern padding.
+func Table5() ([]Table5Row, error) {
+	p, err := NewProblem(55, 16, 4, 10000, 4)
+	if err != nil {
+		return nil, err
+	}
+	const cpuName = "Xeon E5-2680v4 x2"
+	ref, err := DeviceEval(p, cpuName, "OpenCL",
+		gobeagle.FlagPrecisionSingle|gobeagle.FlagKernelGPU, 64, 3)
+	if err != nil {
+		return nil, err
+	}
+	rows := []Table5Row{{Solution: "OpenCL-GPU", WorkGroup: 64, Throughput: ref, Speedup: 1}}
+	for _, wg := range []int{64, 128, 256, 512, 1024} {
+		gf, err := DeviceEval(p, cpuName, "OpenCL", gobeagle.FlagPrecisionSingle, wg, 3)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table5Row{
+			Solution:   "OpenCL-x86",
+			WorkGroup:  wg,
+			Throughput: gf,
+			Speedup:    gf / ref,
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable5 renders the rows in the paper's layout.
+func PrintTable5(w io.Writer, rows []Table5Row) {
+	fmt.Fprintln(w, "Table V: OpenCL-x86 work-group size (dual Xeon E5-2680v4, 10,000 patterns)")
+	fmt.Fprintln(w, "solution     work-group(patterns)  throughput(GFLOPS)  speedup(x OpenCL-GPU)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s  %20d  %18.2f  %10.2f\n",
+			r.Solution, r.WorkGroup, r.Throughput, r.Speedup)
+	}
+}

@@ -1,0 +1,511 @@
+// Package cpuimpl provides the host CPU implementations of the library,
+// reproducing the paper's CPU lineage (§IV-D, §VI):
+//
+//   - Serial: the original single-threaded implementation, the baseline of
+//     every speedup figure in the paper;
+//   - SSE: the serial implementation with the 4-state unrolled kernels, the
+//     analogue of the SSE intrinsics path (falls back to the generic kernels
+//     for non-nucleotide state counts, as BEAGLE's SSE path does);
+//   - Futures: concurrency across independent operations in the tree
+//     (§VI-A) — operations are grouped into dependency levels and each
+//     operation of a level runs as its own asynchronous task;
+//   - ThreadCreate: per-call goroutine creation partitioning the site
+//     patterns into equal chunks, with a minimum pattern count below which
+//     execution stays serial (§VI-B);
+//   - ThreadPool: a persistent worker pool used for both the
+//     partial-likelihoods operations and the root likelihood integration
+//     (§VI-C), the design that won in Table III.
+package cpuimpl
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gobeagle/internal/engine"
+	"gobeagle/internal/kernels"
+)
+
+// Mode selects the CPU execution strategy.
+type Mode int
+
+// CPU execution strategies, in the order the paper develops them.
+const (
+	Serial Mode = iota
+	SSE
+	Futures
+	ThreadCreate
+	ThreadPool
+)
+
+// String returns the implementation name used in resource listings.
+func (m Mode) String() string {
+	switch m {
+	case Serial:
+		return "CPU-serial"
+	case SSE:
+		return "CPU-SSE"
+	case Futures:
+		return "CPU-futures"
+	case ThreadCreate:
+		return "CPU-threadcreate"
+	case ThreadPool:
+		return "CPU-threadpool"
+	default:
+		return fmt.Sprintf("CPU-unknown(%d)", int(m))
+	}
+}
+
+// DefaultMinPatterns is the minimum pattern count for pattern-level
+// threading, preventing small problems from running slower threaded than
+// serial (the paper uses 512).
+const DefaultMinPatterns = 512
+
+// New creates a CPU engine with the given mode, instantiated for the
+// precision requested in the configuration.
+func New(cfg engine.Config, mode Mode) (engine.Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch mode {
+	case Serial, SSE, Futures, ThreadCreate, ThreadPool:
+	default:
+		return nil, fmt.Errorf("cpuimpl: unknown mode %d", int(mode))
+	}
+	if cfg.SinglePrecision {
+		return newEngine[float32](cfg, mode), nil
+	}
+	return newEngine[float64](cfg, mode), nil
+}
+
+// Engine is a CPU implementation of engine.Engine, generic in precision.
+type Engine[T kernels.Real] struct {
+	*engine.Storage[T]
+	mode        Mode
+	threads     int
+	minPatterns int
+	pool        *workerPool
+}
+
+func newEngine[T kernels.Real](cfg engine.Config, mode Mode) *Engine[T] {
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	minPat := cfg.MinPatternsWork
+	if minPat <= 0 {
+		minPat = DefaultMinPatterns
+	}
+	e := &Engine[T]{
+		Storage:     engine.NewStorage[T](cfg),
+		mode:        mode,
+		threads:     threads,
+		minPatterns: minPat,
+	}
+	if mode == ThreadPool {
+		e.pool = newWorkerPool(threads)
+	}
+	return e
+}
+
+// Name identifies the implementation.
+func (e *Engine[T]) Name() string { return e.mode.String() }
+
+// Close shuts down the worker pool, if any.
+func (e *Engine[T]) Close() error {
+	if e.pool != nil {
+		e.pool.close()
+		e.pool = nil
+	}
+	return nil
+}
+
+// runOp executes one partial-likelihoods operation for patterns [lo, hi),
+// selecting the kernel by operand kinds and mode.
+func (e *Engine[T]) runOp(op engine.Operation, lo, hi int) error {
+	d := e.Cfg.Dims
+	dest, err := e.DestPartials(op.Dest)
+	if err != nil {
+		return err
+	}
+	m1, m2, err := e.OpMatrices(op)
+	if err != nil {
+		return err
+	}
+	k1, s1, p1, err := e.ChildOperand(op.Child1)
+	if err != nil {
+		return err
+	}
+	k2, s2, p2, err := e.ChildOperand(op.Child2)
+	if err != nil {
+		return err
+	}
+	// Normalize so a compact-states operand, if any, comes first.
+	if k1 == engine.OperandPartials && k2 == engine.OperandStates {
+		k1, k2 = k2, k1
+		s1, s2 = s2, s1
+		p1, p2 = p2, p1
+		m1, m2 = m2, m1
+	}
+	useSSE := e.mode == SSE && d.StateCount == 4
+	switch {
+	case k1 == engine.OperandStates && k2 == engine.OperandStates:
+		if useSSE {
+			kernels.StatesStates4(dest, s1, m1, s2, m2, d, lo, hi)
+		} else {
+			kernels.StatesStates(dest, s1, m1, s2, m2, d, lo, hi)
+		}
+	case k1 == engine.OperandStates:
+		if useSSE {
+			kernels.StatesPartials4(dest, s1, m1, p2, m2, d, lo, hi)
+		} else {
+			kernels.StatesPartials(dest, s1, m1, p2, m2, d, lo, hi)
+		}
+	default:
+		if useSSE {
+			kernels.PartialsPartials4(dest, p1, m1, p2, m2, d, lo, hi)
+		} else {
+			kernels.PartialsPartials(dest, p1, m1, p2, m2, d, lo, hi)
+		}
+	}
+	if op.DestScaleWrite != engine.None {
+		scale, err := e.ScaleWriteTarget(op.DestScaleWrite)
+		if err != nil {
+			return err
+		}
+		kernels.RescalePartials(dest, scale, d, lo, hi)
+	}
+	return nil
+}
+
+// validateOps pre-checks every operation so threaded execution cannot fail
+// mid-flight.
+func (e *Engine[T]) validateOps(ops []engine.Operation) error {
+	for _, op := range ops {
+		if _, err := e.DestPartials(op.Dest); err != nil {
+			return err
+		}
+		if _, _, err := e.OpMatrices(op); err != nil {
+			return err
+		}
+		if _, _, _, err := e.ChildOperand(op.Child1); err != nil {
+			// The child may be the destination of an earlier op in this
+			// batch; DestPartials above has already allocated those.
+			return err
+		}
+		if _, _, _, err := e.ChildOperand(op.Child2); err != nil {
+			return err
+		}
+		if op.DestScaleWrite != engine.None {
+			if _, err := e.ScaleWriteTarget(op.DestScaleWrite); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// UpdatePartials executes the operation list with the engine's strategy.
+func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
+	// Allocate destinations in order first so later validation of children
+	// that are earlier destinations succeeds.
+	for _, op := range ops {
+		if _, err := e.DestPartials(op.Dest); err != nil {
+			return err
+		}
+	}
+	if err := e.validateOps(ops); err != nil {
+		return err
+	}
+	p := e.Cfg.Dims.PatternCount
+	switch e.mode {
+	case Serial, SSE:
+		for _, op := range ops {
+			if err := e.runOp(op, 0, p); err != nil {
+				return err
+			}
+		}
+	case Futures:
+		return e.runFutures(ops)
+	case ThreadCreate:
+		for _, op := range ops {
+			if err := e.runThreadCreate(op); err != nil {
+				return err
+			}
+		}
+	case ThreadPool:
+		for _, op := range ops {
+			if err := e.runThreadPool(op); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runFutures executes operations level by level; operations within a level
+// are independent in the tree topology and run concurrently, each as one
+// asynchronous task computing its full pattern range (§VI-A).
+func (e *Engine[T]) runFutures(ops []engine.Operation) error {
+	levels := opLevels(ops)
+	errs := make([]error, len(ops))
+	idx := 0
+	for _, level := range levels {
+		var wg sync.WaitGroup
+		for _, op := range level {
+			wg.Add(1)
+			go func(op engine.Operation, slot int) {
+				defer wg.Done()
+				errs[slot] = e.runOp(op, 0, e.Cfg.Dims.PatternCount)
+			}(op, idx)
+			idx++
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runThreadCreate spawns fresh goroutines for one operation, partitioning
+// the patterns into equal chunks (§VI-B). Below the minimum pattern count it
+// stays serial.
+func (e *Engine[T]) runThreadCreate(op engine.Operation) error {
+	p := e.Cfg.Dims.PatternCount
+	if p < e.minPatterns || e.threads < 2 {
+		return e.runOp(op, 0, p)
+	}
+	n := e.threads
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		lo := w * p / n
+		hi := (w + 1) * p / n
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = e.runOp(op, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runThreadPool dispatches one operation's pattern chunks onto the
+// persistent worker pool (§VI-C).
+func (e *Engine[T]) runThreadPool(op engine.Operation) error {
+	p := e.Cfg.Dims.PatternCount
+	if p < e.minPatterns || e.threads < 2 {
+		return e.runOp(op, 0, p)
+	}
+	n := e.threads
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		lo := w * p / n
+		hi := (w + 1) * p / n
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		e.pool.submit(func() {
+			defer wg.Done()
+			errs[w] = e.runOp(op, lo, hi)
+		})
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// opLevels groups operations into dependency levels by destination buffer,
+// so that each level's operations are mutually independent.
+func opLevels(ops []engine.Operation) [][]engine.Operation {
+	level := make(map[int]int)
+	var out [][]engine.Operation
+	for _, op := range ops {
+		l := 0
+		if dl, ok := level[op.Child1]; ok && dl+1 > l {
+			l = dl + 1
+		}
+		if dl, ok := level[op.Child2]; ok && dl+1 > l {
+			l = dl + 1
+		}
+		level[op.Dest] = l
+		for len(out) <= l {
+			out = append(out, nil)
+		}
+		out[l] = append(out[l], op)
+	}
+	return out
+}
+
+// SiteLogLikelihoods returns per-pattern root log likelihoods
+// (log site likelihood plus accumulated scale factors).
+func (e *Engine[T]) SiteLogLikelihoods(rootBuf, cumScaleBuf int) ([]float64, error) {
+	site, scale, err := e.siteLikelihoods(rootBuf, cumScaleBuf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(site))
+	for p, s := range site {
+		l := math.Log(s)
+		if scale != nil {
+			l += scale[p]
+		}
+		out[p] = l
+	}
+	return out, nil
+}
+
+// CalculateRootLogLikelihoods integrates the root partials into the total
+// log likelihood. In ThreadPool mode the per-pattern site likelihoods are
+// computed on the worker pool, as §VI-C describes.
+func (e *Engine[T]) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float64, error) {
+	site, scale, err := e.siteLikelihoods(rootBuf, cumScaleBuf)
+	if err != nil {
+		return 0, err
+	}
+	return kernels.RootLogLikelihood(site, e.PatWts, scale, 0, len(site)), nil
+}
+
+func (e *Engine[T]) siteLikelihoods(rootBuf, cumScaleBuf int) (site, scale []float64, err error) {
+	kind, _, root, err := e.ChildOperand(rootBuf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if kind != engine.OperandPartials {
+		return nil, nil, fmt.Errorf("cpuimpl: root buffer %d holds compact states", rootBuf)
+	}
+	scale, err = e.CumulativeScale(cumScaleBuf)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := e.Cfg.Dims
+	site = make([]float64, d.PatternCount)
+	if e.mode == ThreadPool && d.PatternCount >= e.minPatterns && e.threads > 1 {
+		n := e.threads
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			lo := w * d.PatternCount / n
+			hi := (w + 1) * d.PatternCount / n
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			e.pool.submit(func() {
+				defer wg.Done()
+				kernels.SiteLikelihoods(site, root, e.CatWts, e.Freqs, d, lo, hi)
+			})
+		}
+		wg.Wait()
+	} else {
+		kernels.SiteLikelihoods(site, root, e.CatWts, e.Freqs, d, 0, d.PatternCount)
+	}
+	return site, scale, nil
+}
+
+// CalculateEdgeLogLikelihoods integrates across a single branch between the
+// parent-side and child-side partials buffers.
+func (e *Engine[T]) CalculateEdgeLogLikelihoods(parentBuf, childBuf, matrix, cumScaleBuf int) (float64, error) {
+	pk, _, parent, err := e.ChildOperand(parentBuf)
+	if err != nil {
+		return 0, err
+	}
+	ck, _, child, err := e.ChildOperand(childBuf)
+	if err != nil {
+		return 0, err
+	}
+	if pk != engine.OperandPartials || ck != engine.OperandPartials {
+		return 0, fmt.Errorf("cpuimpl: edge likelihood requires partials buffers (use SetTipPartials for tips)")
+	}
+	if matrix < 0 || matrix >= len(e.Matrices) || e.Matrices[matrix] == nil {
+		return 0, fmt.Errorf("cpuimpl: matrix buffer %d not available", matrix)
+	}
+	scale, err := e.CumulativeScale(cumScaleBuf)
+	if err != nil {
+		return 0, err
+	}
+	d := e.Cfg.Dims
+	site := make([]float64, d.PatternCount)
+	kernels.EdgeSiteLikelihoods(site, parent, child, e.Matrices[matrix], e.CatWts, e.Freqs, d, 0, d.PatternCount)
+	return kernels.RootLogLikelihood(site, e.PatWts, scale, 0, d.PatternCount), nil
+}
+
+// CalculateEdgeDerivatives integrates across a single branch and returns
+// the log likelihood and its first and second derivatives with respect to
+// the branch length. matrix, d1Matrix (and d2Matrix unless None) must have
+// been computed by UpdateTransitionMatrices / UpdateTransitionDerivatives.
+func (e *Engine[T]) CalculateEdgeDerivatives(parentBuf, childBuf, matrix, d1Matrix, d2Matrix, cumScaleBuf int) (float64, float64, float64, error) {
+	pk, _, parent, err := e.ChildOperand(parentBuf)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ck, _, child, err := e.ChildOperand(childBuf)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if pk != engine.OperandPartials || ck != engine.OperandPartials {
+		return 0, 0, 0, fmt.Errorf("cpuimpl: edge derivatives require partials buffers")
+	}
+	getMat := func(idx int) ([]T, error) {
+		if idx < 0 || idx >= len(e.Matrices) || e.Matrices[idx] == nil {
+			return nil, fmt.Errorf("cpuimpl: matrix buffer %d not available", idx)
+		}
+		return e.Matrices[idx], nil
+	}
+	m, err := getMat(matrix)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	m1, err := getMat(d1Matrix)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var m2 []T
+	if d2Matrix != engine.None {
+		if m2, err = getMat(d2Matrix); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	scale, err := e.CumulativeScale(cumScaleBuf)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	d := e.Cfg.Dims
+	siteL := make([]float64, d.PatternCount)
+	siteD1 := make([]float64, d.PatternCount)
+	var siteD2 []float64
+	if m2 != nil {
+		siteD2 = make([]float64, d.PatternCount)
+	}
+	kernels.EdgeSiteDerivatives(siteL, siteD1, siteD2, parent, child, m, m1, m2,
+		e.CatWts, e.Freqs, d, 0, d.PatternCount)
+	lnL := kernels.RootLogLikelihood(siteL, e.PatWts, scale, 0, d.PatternCount)
+	d1, d2 := kernels.ReduceEdgeDerivatives(siteL, siteD1, siteD2, e.PatWts, 0, d.PatternCount)
+	return lnL, d1, d2, nil
+}
+
+// Modes returns all CPU modes in presentation order.
+func Modes() []Mode {
+	m := []Mode{Serial, SSE, Futures, ThreadCreate, ThreadPool}
+	sort.Slice(m, func(i, j int) bool { return m[i] < m[j] })
+	return m
+}

@@ -1,0 +1,573 @@
+package cpuimpl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gobeagle/internal/engine"
+	"gobeagle/internal/kernels"
+	"gobeagle/internal/seqgen"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/tree"
+)
+
+// naiveLogLikelihood computes the tree log likelihood by direct Felsenstein
+// pruning in float64, independently of any kernel code, as the correctness
+// reference.
+func naiveLogLikelihood(t *tree.Tree, m *substmodel.Model, rates *substmodel.SiteRates, ps *seqgen.PatternSet) float64 {
+	ed, err := m.Eigen()
+	if err != nil {
+		panic(err)
+	}
+	s := m.StateCount
+	nc := len(rates.Rates)
+	// Per-node, per-category transition matrices.
+	probs := make(map[int][][]float64)
+	for _, n := range t.Nodes() {
+		if n == t.Root {
+			continue
+		}
+		per := make([][]float64, nc)
+		for c, r := range rates.Rates {
+			p := make([]float64, s*s)
+			ed.TransitionMatrix(n.Length*r, p)
+			per[c] = p
+		}
+		probs[n.Index] = per
+	}
+	var lnL float64
+	for pi, pat := range ps.Patterns {
+		var site float64
+		for c := 0; c < nc; c++ {
+			var rec func(n *tree.Node) []float64
+			rec = func(n *tree.Node) []float64 {
+				l := make([]float64, s)
+				if n.IsTip() {
+					st := pat[n.Index]
+					if st >= s {
+						for i := range l {
+							l[i] = 1
+						}
+					} else {
+						l[st] = 1
+					}
+					return l
+				}
+				ll := rec(n.Left)
+				lr := rec(n.Right)
+				pl := probs[n.Left.Index][c]
+				pr := probs[n.Right.Index][c]
+				for i := 0; i < s; i++ {
+					var a, b float64
+					for j := 0; j < s; j++ {
+						a += pl[i*s+j] * ll[j]
+						b += pr[i*s+j] * lr[j]
+					}
+					l[i] = a * b
+				}
+				return l
+			}
+			root := rec(t.Root)
+			var cat float64
+			for i := 0; i < s; i++ {
+				cat += m.Frequencies[i] * root[i]
+			}
+			site += rates.Weights[c] * cat
+		}
+		lnL += ps.Weights[pi] * math.Log(site)
+	}
+	return lnL
+}
+
+// driveEngine loads a tree/model/data problem into an engine and returns the
+// root log likelihood. When scaled is true every operation rescales and the
+// accumulated factors are used at the root.
+func driveEngine(t *testing.T, e engine.Engine, tr *tree.Tree, m *substmodel.Model,
+	rates *substmodel.SiteRates, ps *seqgen.PatternSet, compactTips, scaled bool) float64 {
+	t.Helper()
+	ed, err := m.Eigen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetEigenDecomposition(0, ed.Values, ed.Vectors.Data, ed.InverseVectors.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetCategoryRates(rates.Rates); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetCategoryWeights(rates.Weights); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetStateFrequencies(m.Frequencies); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetPatternWeights(ps.Weights); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tr.TipCount; i++ {
+		if compactTips {
+			if err := e.SetTipStates(i, ps.TipStates(i)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := e.SetTipPartials(i, ps.TipPartials(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sched := tr.FullSchedule()
+	mats := make([]int, len(sched.Matrices))
+	lens := make([]float64, len(sched.Matrices))
+	for i, mu := range sched.Matrices {
+		mats[i] = mu.Matrix
+		lens[i] = mu.Length
+	}
+	if err := e.UpdateTransitionMatrices(0, mats, lens); err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]engine.Operation, len(sched.Ops))
+	scaleBufs := make([]int, 0, len(sched.Ops))
+	for i, op := range sched.Ops {
+		sw := engine.None
+		if scaled {
+			sw = i // one scale buffer per internal node operation
+			scaleBufs = append(scaleBufs, i)
+		}
+		ops[i] = engine.Operation{
+			Dest:           op.Dest,
+			DestScaleWrite: sw,
+			DestScaleRead:  engine.None,
+			Child1:         op.Child1,
+			Child1Mat:      op.Child1Mat,
+			Child2:         op.Child2,
+			Child2Mat:      op.Child2Mat,
+		}
+	}
+	if err := e.UpdatePartials(ops); err != nil {
+		t.Fatal(err)
+	}
+	cum := engine.None
+	if scaled {
+		cum = len(sched.Ops) // cumulative buffer
+		if err := e.ResetScaleFactors(cum); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AccumulateScaleFactors(scaleBufs, cum); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lnL, err := e.CalculateRootLogLikelihoods(sched.Root, cum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lnL
+}
+
+func testConfig(tr *tree.Tree, stateCount, patterns, cats int, single bool) engine.Config {
+	return engine.Config{
+		TipCount:        tr.TipCount,
+		PartialsBuffers: tr.NodeCount(),
+		MatrixBuffers:   tr.NodeCount(),
+		EigenBuffers:    1,
+		ScaleBuffers:    tr.NodeCount() + 1,
+		Dims: kernels.Dims{
+			StateCount:    stateCount,
+			PatternCount:  patterns,
+			CategoryCount: cats,
+		},
+		SinglePrecision: single,
+		MinPatternsWork: 1, // force threading paths in tests
+		Threads:         4, // exercise parallel chunking even on 1-core hosts
+	}
+}
+
+func TestAllModesMatchNaiveNucleotide(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr, err := tree.Random(rng, 8, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := substmodel.NewHKY85(2.5, []float64{0.3, 0.2, 0.25, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := substmodel.GammaRates(0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	align, err := seqgen.Simulate(rng, tr, m, rates, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := seqgen.CompressPatterns(align)
+	want := naiveLogLikelihood(tr, m, rates, ps)
+	if math.IsNaN(want) || want >= 0 {
+		t.Fatalf("suspicious reference lnL %v", want)
+	}
+	for _, mode := range Modes() {
+		for _, compact := range []bool{true, false} {
+			e, err := New(testConfig(tr, 4, ps.PatternCount(), 4, false), mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := driveEngine(t, e, tr, m, rates, ps, compact, false)
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-8*math.Abs(want) {
+				t.Errorf("%v compact=%v: lnL %v want %v", mode, compact, got, want)
+			}
+		}
+	}
+}
+
+func TestAllModesMatchNaiveCodon(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr, err := tree.Random(rng, 6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := substmodel.NewGY94(2, 0.3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := substmodel.SingleRate()
+	ps, err := seqgen.RandomPatterns(rng, tr.TipCount, 61, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveLogLikelihood(tr, m, rates, ps)
+	for _, mode := range []Mode{Serial, SSE, ThreadPool} {
+		e, err := New(testConfig(tr, 61, ps.PatternCount(), 1, false), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := driveEngine(t, e, tr, m, rates, ps, true, false)
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-8*math.Abs(want) {
+			t.Errorf("%v codon: lnL %v want %v", mode, got, want)
+		}
+	}
+}
+
+func TestSinglePrecisionTracksDouble(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr, _ := tree.Random(rng, 10, 0.1)
+	m := substmodel.NewJC69()
+	rates := substmodel.SingleRate()
+	align, _ := seqgen.Simulate(rng, tr, m, rates, 200)
+	ps := seqgen.CompressPatterns(align)
+
+	eD, err := New(testConfig(tr, 4, ps.PatternCount(), 1, false), Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eD.Close()
+	eS, err := New(testConfig(tr, 4, ps.PatternCount(), 1, true), Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eS.Close()
+	lnLD := driveEngine(t, eD, tr, m, rates, ps, true, false)
+	lnLS := driveEngine(t, eS, tr, m, rates, ps, true, false)
+	if rel := math.Abs(lnLD-lnLS) / math.Abs(lnLD); rel > 1e-4 {
+		t.Fatalf("precision divergence: double %v single %v (rel %v)", lnLD, lnLS, rel)
+	}
+}
+
+func TestScalingInvariance(t *testing.T) {
+	// Rescaled and unscaled evaluations must agree; rescaling is required on
+	// large trees in single precision, where raw partials underflow.
+	rng := rand.New(rand.NewSource(13))
+	tr, _ := tree.Random(rng, 24, 0.4)
+	m := substmodel.NewJC69()
+	rates := substmodel.SingleRate()
+	align, _ := seqgen.Simulate(rng, tr, m, rates, 100)
+	ps := seqgen.CompressPatterns(align)
+
+	for _, mode := range []Mode{Serial, ThreadPool} {
+		e1, err := New(testConfig(tr, 4, ps.PatternCount(), 1, false), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := driveEngine(t, e1, tr, m, rates, ps, true, false)
+		e1.Close()
+		e2, err := New(testConfig(tr, 4, ps.PatternCount(), 1, false), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scaled := driveEngine(t, e2, tr, m, rates, ps, true, true)
+		e2.Close()
+		if math.Abs(plain-scaled) > 1e-8*math.Abs(plain) {
+			t.Errorf("%v: scaled %v plain %v", mode, scaled, plain)
+		}
+	}
+}
+
+func TestEdgeLogLikelihoodPulleyPrinciple(t *testing.T) {
+	// For a reversible model, integrating at the root equals integrating
+	// across the root's two child branches joined into one edge
+	// (Felsenstein's pulley principle).
+	rng := rand.New(rand.NewSource(17))
+	tr, err := tree.ParseNewick("(a:0.2,b:0.35);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := substmodel.NewHKY85(2, []float64{0.3, 0.2, 0.25, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, _ := substmodel.GammaRates(1.0, 2)
+	ps, err := seqgen.RandomPatterns(rng, 2, 4, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(tr, 4, ps.PatternCount(), 2, false)
+	cfg.MatrixBuffers = 4 // room for the joined-branch matrix
+	e, err := New(cfg, Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rootLnL := driveEngine(t, e, tr, m, rates, ps, false, false)
+
+	// Joined branch: length(a) + length(b).
+	joined := tr.Tips()[0].Length + tr.Tips()[1].Length
+	if err := e.UpdateTransitionMatrices(0, []int{3}, []float64{joined}); err != nil {
+		t.Fatal(err)
+	}
+	edgeLnL, err := e.CalculateEdgeLogLikelihoods(0, 1, 3, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rootLnL-edgeLnL) > 1e-9*math.Abs(rootLnL) {
+		t.Fatalf("pulley principle violated: root %v edge %v", rootLnL, edgeLnL)
+	}
+}
+
+func TestSiteLogLikelihoodsSumToTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	tr, _ := tree.Random(rng, 6, 0.2)
+	m := substmodel.NewJC69()
+	rates := substmodel.SingleRate()
+	align, _ := seqgen.Simulate(rng, tr, m, rates, 120)
+	ps := seqgen.CompressPatterns(align)
+	e, err := New(testConfig(tr, 4, ps.PatternCount(), 1, false), Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	total := driveEngine(t, e, tr, m, rates, ps, true, false)
+	site, err := e.SiteLogLikelihoods(tr.Root.Index, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for p, l := range site {
+		sum += ps.Weights[p] * l
+	}
+	if math.Abs(sum-total) > 1e-9*math.Abs(total) {
+		t.Fatalf("site sum %v != total %v", sum, total)
+	}
+}
+
+func TestThreadCreateThresholdStaysSerial(t *testing.T) {
+	// Below the pattern threshold, threaded modes must behave exactly like
+	// serial (bitwise identical results).
+	rng := rand.New(rand.NewSource(23))
+	tr, _ := tree.Random(rng, 8, 0.1)
+	m := substmodel.NewJC69()
+	rates := substmodel.SingleRate()
+	ps, _ := seqgen.RandomPatterns(rng, 8, 4, 64)
+
+	cfgSerial := testConfig(tr, 4, 64, 1, false)
+	cfgSerial.MinPatternsWork = DefaultMinPatterns
+	eS, err := New(cfgSerial, Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eS.Close()
+	cfgTC := testConfig(tr, 4, 64, 1, false)
+	cfgTC.MinPatternsWork = DefaultMinPatterns // 64 < 512 → serial path
+	eT, err := New(cfgTC, ThreadCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eT.Close()
+	a := driveEngine(t, eS, tr, m, rates, ps, true, false)
+	b := driveEngine(t, eT, tr, m, rates, ps, true, false)
+	if a != b {
+		t.Fatalf("threshold not honored: serial %v threadcreate %v", a, b)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	tr, _ := tree.Random(rng, 4, 0.1)
+	cfg := testConfig(tr, 4, 10, 1, false)
+	e, err := New(cfg, Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	if err := e.SetTipStates(99, make([]int, 10)); err == nil {
+		t.Error("expected error for bad tip index")
+	}
+	if err := e.SetTipStates(0, make([]int, 5)); err == nil {
+		t.Error("expected error for wrong states length")
+	}
+	if err := e.SetTipPartials(0, make([]float64, 7)); err == nil {
+		t.Error("expected error for wrong partials length")
+	}
+	if err := e.SetCategoryRates([]float64{1, 2}); err == nil {
+		t.Error("expected error for wrong rate count")
+	}
+	if err := e.SetStateFrequencies([]float64{1}); err == nil {
+		t.Error("expected error for wrong frequency count")
+	}
+	if err := e.SetPatternWeights([]float64{1}); err == nil {
+		t.Error("expected error for wrong pattern weight count")
+	}
+	if err := e.SetEigenDecomposition(5, nil, nil, nil); err == nil {
+		t.Error("expected error for bad eigen slot")
+	}
+	if err := e.UpdateTransitionMatrices(0, []int{0}, []float64{0.1}); err == nil {
+		t.Error("expected error for empty eigen slot")
+	}
+	if _, err := e.GetPartials(0); err == nil {
+		t.Error("expected error for unset partials")
+	}
+	if _, err := e.GetTransitionMatrix(0); err == nil {
+		t.Error("expected error for unset matrix")
+	}
+	if _, err := e.CalculateRootLogLikelihoods(99, engine.None); err == nil {
+		t.Error("expected error for bad root buffer")
+	}
+	// Operation using uncomputed matrices.
+	err = e.UpdatePartials([]engine.Operation{{
+		Dest: 5, DestScaleWrite: engine.None, DestScaleRead: engine.None,
+		Child1: 0, Child1Mat: 0, Child2: 1, Child2Mat: 1,
+	}})
+	if err == nil {
+		t.Error("expected error for operation with missing matrices")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	var cfg engine.Config
+	if _, err := New(cfg, Serial); err == nil {
+		t.Fatal("expected error for zero config")
+	}
+	rng := rand.New(rand.NewSource(1))
+	tr, _ := tree.Random(rng, 4, 0.1)
+	if _, err := New(testConfig(tr, 4, 10, 1, false), Mode(99)); err == nil {
+		t.Fatal("expected error for unknown mode")
+	}
+}
+
+func TestGetPartialsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr, _ := tree.Random(rng, 4, 0.1)
+	e, err := New(testConfig(tr, 4, 5, 2, false), Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	in := make([]float64, 2*5*4)
+	for i := range in {
+		in[i] = rng.Float64()
+	}
+	if err := e.SetPartials(3, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.GetPartials(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestSetTransitionMatrixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	tr, _ := tree.Random(rng, 4, 0.1)
+	e, err := New(testConfig(tr, 4, 5, 2, false), Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	in := make([]float64, 2*16)
+	for i := range in {
+		in[i] = rng.Float64()
+	}
+	if err := e.SetTransitionMatrix(1, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.GetTransitionMatrix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	names := map[Mode]string{
+		Serial:       "CPU-serial",
+		SSE:          "CPU-SSE",
+		Futures:      "CPU-futures",
+		ThreadCreate: "CPU-threadcreate",
+		ThreadPool:   "CPU-threadpool",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q want %q", int(m), m.String(), want)
+		}
+	}
+	if Mode(99).String() == "" {
+		t.Error("unknown mode must still render")
+	}
+}
+
+func TestAllModesMatchNaiveAminoAcid(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tr, err := tree.Random(rng, 6, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := substmodel.NewPoissonAA(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := substmodel.GammaRates(0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	align, err := seqgen.Simulate(rng, tr, m, rates, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := seqgen.CompressPatterns(align)
+	want := naiveLogLikelihood(tr, m, rates, ps)
+	for _, mode := range []Mode{Serial, SSE, ThreadPool} {
+		e, err := New(testConfig(tr, 20, ps.PatternCount(), 2, false), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := driveEngine(t, e, tr, m, rates, ps, true, false)
+		e.Close()
+		if math.Abs(got-want) > 1e-8*math.Abs(want) {
+			t.Errorf("%v amino acid: lnL %v want %v", mode, got, want)
+		}
+	}
+}

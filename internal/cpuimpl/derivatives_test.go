@@ -1,0 +1,171 @@
+package cpuimpl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gobeagle/internal/engine"
+	"gobeagle/internal/seqgen"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/tree"
+)
+
+// edgeSetup prepares a two-tip problem for derivative evaluation and
+// returns the engine plus the evaluation closure lnL(t) across the joined
+// branch.
+func edgeSetup(t *testing.T) (engine.Engine, func(bt float64) (lnL, d1, d2 float64)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(33))
+	tr, err := tree.ParseNewick("(a:0.2,b:0.3);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := substmodel.NewHKY85(2, []float64{0.3, 0.2, 0.25, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := substmodel.GammaRates(0.8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulated data carries real signal, so the likelihood has an interior
+	// optimum in the branch length (random patterns would not).
+	align, err := seqgen.Simulate(rng, tr, m, rates, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := seqgen.CompressPatterns(align)
+	cfg := testConfig(tr, 4, ps.PatternCount(), 3, false)
+	cfg.MatrixBuffers = 6
+	e, err := New(cfg, Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+
+	ed, err := m.Eigen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []error{
+		e.SetEigenDecomposition(0, ed.Values, ed.Vectors.Data, ed.InverseVectors.Data),
+		e.SetCategoryRates(rates.Rates),
+		e.SetCategoryWeights(rates.Weights),
+		e.SetStateFrequencies(m.Frequencies),
+		e.SetPatternWeights(ps.Weights),
+	}
+	for _, err := range steps {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := e.SetTipPartials(i, ps.TipPartials(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eval := func(bt float64) (float64, float64, float64) {
+		if err := e.UpdateTransitionMatrices(0, []int{3}, []float64{bt}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.UpdateTransitionDerivatives(0, []int{4}, []int{5}, []float64{bt}); err != nil {
+			t.Fatal(err)
+		}
+		lnL, d1, d2, err := e.CalculateEdgeDerivatives(0, 1, 3, 4, 5, engine.None)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lnL, d1, d2
+	}
+	return e, eval
+}
+
+func TestEdgeDerivativesMatchFiniteDifferences(t *testing.T) {
+	_, eval := edgeSetup(t)
+	const h = 1e-5
+	for _, bt := range []float64{0.05, 0.2, 0.8} {
+		lnL, d1, d2 := eval(bt)
+		lp, _, _ := eval(bt + h)
+		lm, _, _ := eval(bt - h)
+		numD1 := (lp - lm) / (2 * h)
+		numD2 := (lp - 2*lnL + lm) / (h * h)
+		if math.Abs(d1-numD1) > 1e-5*(1+math.Abs(numD1)) {
+			t.Errorf("t=%v: analytic d1 %v vs numeric %v", bt, d1, numD1)
+		}
+		if math.Abs(d2-numD2) > 1e-3*(1+math.Abs(numD2)) {
+			t.Errorf("t=%v: analytic d2 %v vs numeric %v", bt, d2, numD2)
+		}
+	}
+}
+
+func TestEdgeDerivativeZeroAtOptimum(t *testing.T) {
+	// Find the branch length where d1 crosses zero by bisection and check
+	// d2 is negative there (a maximum) and d1 flips sign around it.
+	_, eval := edgeSetup(t)
+	lo, hi := 0.01, 5.0
+	_, dLo, _ := eval(lo)
+	_, dHi, _ := eval(hi)
+	if dLo <= 0 || dHi >= 0 {
+		t.Skipf("optimum not bracketed: d(%v)=%v d(%v)=%v", lo, dLo, hi, dHi)
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		_, d1, _ := eval(mid)
+		if d1 > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	opt := (lo + hi) / 2
+	lnOpt, d1, d2 := eval(opt)
+	if math.Abs(d1) > 1e-5 {
+		t.Fatalf("derivative at optimum %v is %v", opt, d1)
+	}
+	if d2 >= 0 {
+		t.Fatalf("second derivative at optimum is %v, want negative", d2)
+	}
+	// The optimum must beat nearby points.
+	lnLeft, _, _ := eval(opt * 0.8)
+	lnRight, _, _ := eval(opt * 1.25)
+	if lnOpt < lnLeft || lnOpt < lnRight {
+		t.Fatalf("lnL at optimum %v not maximal (%v, %v)", lnOpt, lnLeft, lnRight)
+	}
+}
+
+func TestEdgeDerivativesWithoutSecond(t *testing.T) {
+	e, eval := edgeSetup(t)
+	lnL, d1, _ := eval(0.3)
+	// Request only the first derivative.
+	lnL2, d1b, d2b, err := e.(*Engine[float64]).CalculateEdgeDerivatives(0, 1, 3, 4, engine.None, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lnL2 != lnL || d1b != d1 {
+		t.Fatalf("first-derivative-only call disagrees: %v/%v vs %v/%v", lnL2, d1b, lnL, d1)
+	}
+	if d2b != 0 {
+		t.Fatalf("skipped second derivative should be 0, got %v", d2b)
+	}
+}
+
+func TestEdgeDerivativeErrors(t *testing.T) {
+	e, _ := edgeSetup(t)
+	eng := e.(*Engine[float64])
+	if _, _, _, err := eng.CalculateEdgeDerivatives(0, 1, 99, 4, 5, engine.None); err == nil {
+		t.Error("bad matrix index must error")
+	}
+	if _, _, _, err := eng.CalculateEdgeDerivatives(0, 1, 3, 4, 5, engine.None); err == nil {
+		t.Error("uncomputed matrices must error")
+	}
+	if err := eng.UpdateTransitionDerivatives(0, []int{1}, nil, []float64{0.1, 0.2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if err := eng.UpdateTransitionDerivatives(0, []int{1, 2}, []int{3}, []float64{0.1, 0.2}); err == nil {
+		t.Error("second-derivative count mismatch must error")
+	}
+	if err := eng.UpdateTransitionDerivatives(1, []int{1}, nil, []float64{0.1}); err == nil {
+		t.Error("empty eigen slot must error")
+	}
+}

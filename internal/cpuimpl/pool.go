@@ -1,0 +1,35 @@
+package cpuimpl
+
+import "sync"
+
+// workerPool is a fixed set of persistent worker goroutines fed through a
+// channel — the C++ thread-pool of §VI-C. Tasks are arbitrary closures;
+// callers coordinate completion themselves (typically with a WaitGroup), so
+// one pool serves both partials operations and root-likelihood integration.
+type workerPool struct {
+	jobs chan func()
+	done sync.WaitGroup
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{jobs: make(chan func(), workers*4)}
+	p.done.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.done.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues a task; it blocks only when the queue is full.
+func (p *workerPool) submit(job func()) { p.jobs <- job }
+
+// close stops the workers after draining queued tasks.
+func (p *workerPool) close() {
+	close(p.jobs)
+	p.done.Wait()
+}

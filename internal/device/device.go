@@ -1,0 +1,173 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Device is one simulated compute device. Kernels launched on its queues
+// execute on a bounded pool of host goroutines standing in for compute
+// units; memory lives in explicitly allocated device buffers.
+type Device struct {
+	Desc        Descriptor
+	Framework   FrameworkName
+	parallelism int   // host goroutines emulating compute units
+	allocated   int64 // bytes currently allocated (atomic)
+}
+
+// Parallelism returns the host-side execution width.
+func (d *Device) Parallelism() int { return d.parallelism }
+
+// AllocatedBytes returns the bytes currently allocated on the device.
+func (d *Device) AllocatedBytes() int64 { return atomic.LoadInt64(&d.allocated) }
+
+// Fission returns a sub-device restricted to n compute units, the OpenCL
+// device-fission feature the paper uses for the multicore scaling benchmark
+// (Fig. 5). The sub-device shares no allocation accounting with its parent.
+func (d *Device) Fission(n int) (*Device, error) {
+	if n < 1 || n > d.Desc.Cores {
+		return nil, fmt.Errorf("device: cannot fission %d of %d compute units", n, d.Desc.Cores)
+	}
+	sub := d.Desc
+	sub.Cores = n
+	// Peak compute scales with the granted compute units; memory bandwidth
+	// is shared machine-wide and left unscaled (the saturation behaviour of
+	// Fig. 5 comes from exactly this asymmetry).
+	sub.PeakSPGFLOPS = d.Desc.PeakSPGFLOPS * float64(n) / float64(d.Desc.Cores)
+	sub.Name = fmt.Sprintf("%s (%d CU)", d.Desc.Name, n)
+	// Memory bandwidth on CPU-class devices scales sublinearly with cores
+	// and saturates; the perf model handles that, so the descriptor keeps
+	// full bandwidth.
+	par := n
+	if par > d.parallelism {
+		par = d.parallelism
+	}
+	return NewDevice(sub, d.Framework, par), nil
+}
+
+// Elem constrains the element types device buffers can hold.
+type Elem interface {
+	~float32 | ~float64 | ~int32
+}
+
+// Buffer is a typed region of device memory. Host code must move data
+// through the explicit copy calls; kernels access buffers directly.
+type Buffer[T Elem] struct {
+	dev    *Device
+	data   []T
+	origin int  // element offset into the parent allocation
+	sub    bool // true for sub-buffer views
+}
+
+// Alloc allocates a device buffer of n elements.
+func Alloc[T Elem](d *Device, n int) (*Buffer[T], error) {
+	if n <= 0 {
+		return nil, errors.New("device: allocation size must be positive")
+	}
+	var zero T
+	bytes := int64(n) * int64(elemSize(zero))
+	if atomic.AddInt64(&d.allocated, bytes) > d.Desc.MemoryBytes {
+		atomic.AddInt64(&d.allocated, -bytes)
+		return nil, fmt.Errorf("device: out of memory on %s (%d bytes requested, %d in use, %d total)",
+			d.Desc.Name, bytes, d.AllocatedBytes(), d.Desc.MemoryBytes)
+	}
+	return &Buffer[T]{dev: d, data: make([]T, n)}, nil
+}
+
+func elemSize[T Elem](v T) int {
+	switch any(v).(type) {
+	case float32, int32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Free releases the buffer's memory accounting. Freeing a sub-buffer is an
+// error; freeing twice is an error.
+func (b *Buffer[T]) Free() error {
+	if b.sub {
+		return errors.New("device: cannot free a sub-buffer view")
+	}
+	if b.data == nil {
+		return errors.New("device: double free")
+	}
+	var zero T
+	atomic.AddInt64(&b.dev.allocated, -int64(len(b.data))*int64(elemSize(zero)))
+	b.data = nil
+	return nil
+}
+
+// Len returns the element count.
+func (b *Buffer[T]) Len() int { return len(b.data) }
+
+// Data exposes the raw storage to kernel launches. Host code outside kernel
+// bodies must use the copy calls instead.
+func (b *Buffer[T]) Data() []T { return b.data }
+
+// SubCUDA returns a view of [origin, origin+n) using CUDA-style pointer
+// arithmetic: any element offset is legal (§VII-A).
+func (b *Buffer[T]) SubCUDA(origin, n int) (*Buffer[T], error) {
+	if b.dev.Framework != CUDA {
+		return nil, fmt.Errorf("device: pointer-arithmetic sub-buffers require the CUDA framework, not %s", b.dev.Framework)
+	}
+	return b.subView(origin, n)
+}
+
+// SubOpenCL returns a view of [origin, origin+n) in the manner of
+// clCreateSubBuffer: the byte origin must be aligned to the device's base
+// address alignment (§VII-A).
+func (b *Buffer[T]) SubOpenCL(origin, n int) (*Buffer[T], error) {
+	if b.dev.Framework != OpenCL {
+		return nil, fmt.Errorf("device: clCreateSubBuffer requires the OpenCL framework, not %s", b.dev.Framework)
+	}
+	var zero T
+	if byteOrigin := origin * elemSize(zero); byteOrigin%b.dev.Desc.BaseAlign != 0 {
+		return nil, fmt.Errorf("device: sub-buffer origin %d bytes violates %d-byte base alignment of %s",
+			byteOrigin, b.dev.Desc.BaseAlign, b.dev.Desc.Name)
+	}
+	return b.subView(origin, n)
+}
+
+func (b *Buffer[T]) subView(origin, n int) (*Buffer[T], error) {
+	if b.data == nil {
+		return nil, errors.New("device: sub-buffer of freed buffer")
+	}
+	if origin < 0 || n <= 0 || origin+n > len(b.data) {
+		return nil, fmt.Errorf("device: sub-buffer [%d,%d) out of range of %d elements", origin, origin+n, len(b.data))
+	}
+	return &Buffer[T]{dev: b.dev, data: b.data[origin : origin+n], origin: b.origin + origin, sub: true}, nil
+}
+
+// parallelFor runs groups [0, groups) across the device's host-goroutine
+// pool, invoking run(group) for each.
+func (d *Device) parallelFor(groups int, run func(group int)) {
+	workers := d.parallelism
+	if workers > groups {
+		workers = groups
+	}
+	if workers <= 1 {
+		for g := 0; g < groups; g++ {
+			run(g)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				g := int(atomic.AddInt64(&next, 1))
+				if g >= groups {
+					return
+				}
+				run(g)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,42 @@
+// Package flops implements the paper's throughput measure: the effective
+// number of floating-point operations performed by the partial-likelihoods
+// function (§V-A). Throughput in GFLOPS, rather than raw timing, lets runs
+// with different problem sizes and precisions be compared directly and
+// related to hardware peak rates.
+package flops
+
+import (
+	"time"
+
+	"gobeagle/internal/kernels"
+)
+
+// PerPartialsEntry returns the effective floating-point operations needed
+// for one destination partials entry: two dot products over the state space
+// (a multiply and an add per state each) plus the final cross product.
+func PerPartialsEntry(stateCount int) float64 {
+	return float64(4*stateCount + 1)
+}
+
+// PartialsOp returns the effective floating-point operations of one full
+// partial-likelihoods operation (all categories, patterns and states).
+func PartialsOp(d kernels.Dims) float64 {
+	entries := float64(d.CategoryCount) * float64(d.PatternCount) * float64(d.StateCount)
+	return entries * PerPartialsEntry(d.StateCount)
+}
+
+// Total returns the effective operations of opCount partial-likelihoods
+// operations.
+func Total(d kernels.Dims, opCount int) float64 {
+	return PartialsOp(d) * float64(opCount)
+}
+
+// GFLOPS converts an operation count and elapsed time to throughput in
+// billions of effective floating-point operations per second.
+func GFLOPS(totalFlops float64, elapsed time.Duration) float64 {
+	s := elapsed.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return totalFlops / s / 1e9
+}

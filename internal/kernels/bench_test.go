@@ -1,0 +1,116 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Ablation micro-benchmarks for the kernel-variant design choices DESIGN.md
+// calls out: generic loop kernels vs the 4-state unrolled (SSE-style) path,
+// FMA vs plain accumulation, and the x86 loop style vs the GPU per-entry
+// style on a CPU.
+
+func benchProblem(s, pat, cat int) *problem[float64] {
+	return newProblem[float64](rand.New(rand.NewSource(1)), s, pat, cat)
+}
+
+func BenchmarkPartialsPartialsGeneric4State(b *testing.B) {
+	pr := benchProblem(4, 4096, 4)
+	dest := make([]float64, pr.d.PartialsLen())
+	b.SetBytes(int64(3 * pr.d.PartialsLen() * 8))
+	for i := 0; i < b.N; i++ {
+		PartialsPartials(dest, pr.p1, pr.m1, pr.p2, pr.m2, pr.d, 0, 4096)
+	}
+}
+
+func BenchmarkPartialsPartialsUnrolled4State(b *testing.B) {
+	pr := benchProblem(4, 4096, 4)
+	dest := make([]float64, pr.d.PartialsLen())
+	b.SetBytes(int64(3 * pr.d.PartialsLen() * 8))
+	for i := 0; i < b.N; i++ {
+		PartialsPartials4(dest, pr.p1, pr.m1, pr.p2, pr.m2, pr.d, 0, 4096)
+	}
+}
+
+func BenchmarkPartialsPartialsFMA4State(b *testing.B) {
+	pr := benchProblem(4, 4096, 4)
+	dest := make([]float64, pr.d.PartialsLen())
+	for i := 0; i < b.N; i++ {
+		PartialsPartialsFMA(dest, pr.p1, pr.m1, pr.p2, pr.m2, pr.d, 0, 4096)
+	}
+}
+
+func BenchmarkPartialsPartialsEntryStyle4State(b *testing.B) {
+	// The GPU-style per-entry kernel driven item by item on a CPU: the
+	// configuration Table V's reference row shows to be several-fold slower
+	// than the loop kernels.
+	pr := benchProblem(4, 4096, 4)
+	dest := make([]float64, pr.d.PartialsLen())
+	n := pr.d.PartialsLen()
+	for i := 0; i < b.N; i++ {
+		for w := 0; w < n; w++ {
+			PartialsPartialsEntry(dest, pr.p1, pr.m1, pr.p2, pr.m2, pr.d, w)
+		}
+	}
+}
+
+func BenchmarkPartialsPartialsAmino(b *testing.B) {
+	pr := benchProblem(20, 512, 4)
+	dest := make([]float64, pr.d.PartialsLen())
+	for i := 0; i < b.N; i++ {
+		PartialsPartials(dest, pr.p1, pr.m1, pr.p2, pr.m2, pr.d, 0, 512)
+	}
+}
+
+func BenchmarkPartialsPartialsCodon(b *testing.B) {
+	pr := benchProblem(61, 128, 1)
+	dest := make([]float64, pr.d.PartialsLen())
+	for i := 0; i < b.N; i++ {
+		PartialsPartials(dest, pr.p1, pr.m1, pr.p2, pr.m2, pr.d, 0, 128)
+	}
+}
+
+func BenchmarkStatesPartials4State(b *testing.B) {
+	pr := benchProblem(4, 4096, 4)
+	dest := make([]float64, pr.d.PartialsLen())
+	for i := 0; i < b.N; i++ {
+		StatesPartials4(dest, pr.s1, pr.m1, pr.p2, pr.m2, pr.d, 0, 4096)
+	}
+}
+
+func BenchmarkUpdateTransitionMatrixCodon(b *testing.B) {
+	e := &Eigen{StateCount: 61}
+	rng := rand.New(rand.NewSource(2))
+	e.Values = make([]float64, 61)
+	e.Vectors = make([]float64, 61*61)
+	e.InverseVectors = make([]float64, 61*61)
+	for i := range e.Values {
+		e.Values[i] = -rng.Float64()
+	}
+	for i := range e.Vectors {
+		e.Vectors[i] = rng.NormFloat64()
+		e.InverseVectors[i] = rng.NormFloat64()
+	}
+	out := make([]float64, 61*61)
+	for i := 0; i < b.N; i++ {
+		UpdateTransitionMatrix(out, e, 0.1, []float64{1})
+	}
+}
+
+func BenchmarkRescalePartials(b *testing.B) {
+	pr := benchProblem(4, 4096, 4)
+	scale := make([]float64, 4096)
+	for i := 0; i < b.N; i++ {
+		RescalePartials(pr.p1, scale, pr.d, 0, 4096)
+	}
+}
+
+func BenchmarkSiteLikelihoods(b *testing.B) {
+	pr := benchProblem(4, 4096, 4)
+	out := make([]float64, 4096)
+	wts := []float64{0.25, 0.25, 0.25, 0.25}
+	freqs := []float64{0.25, 0.25, 0.25, 0.25}
+	for i := 0; i < b.N; i++ {
+		SiteLikelihoods(out, pr.p1, wts, freqs, pr.d, 0, 4096)
+	}
+}

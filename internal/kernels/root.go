@@ -1,0 +1,114 @@
+package kernels
+
+import "math"
+
+// SiteLikelihoods computes the per-pattern site likelihoods at the root for
+// patterns [lo, hi): site_p = Σ_c w_c · Σ_s π_s · L_root[c,p,s]. Results are
+// accumulated in double precision regardless of kernel precision, as BEAGLE's
+// integration kernels do.
+func SiteLikelihoods[T Real](out []float64, root []T, catWeights, freqs []float64, d Dims, lo, hi int) {
+	s := d.StateCount
+	for p := lo; p < hi; p++ {
+		var site float64
+		for c := 0; c < d.CategoryCount; c++ {
+			pOff := (c*d.PatternCount + p) * s
+			v := root[pOff : pOff+s]
+			var cat float64
+			for i := 0; i < s; i++ {
+				cat += freqs[i] * float64(v[i])
+			}
+			site += catWeights[c] * cat
+		}
+		out[p] = site
+	}
+}
+
+// RootLogLikelihood reduces site likelihoods to the total log likelihood:
+// Σ_p patternWeight_p · (log(site_p) + scale_p). cumScale may be nil when no
+// rescaling is active; otherwise it holds the accumulated per-pattern log
+// scale factors.
+func RootLogLikelihood(siteLik []float64, patternWeights, cumScale []float64, lo, hi int) float64 {
+	var lnL float64
+	for p := lo; p < hi; p++ {
+		l := math.Log(siteLik[p])
+		if cumScale != nil {
+			l += cumScale[p]
+		}
+		lnL += patternWeights[p] * l
+	}
+	return lnL
+}
+
+// EdgeSiteLikelihoods computes per-pattern site likelihoods across a single
+// branch with transition matrix m between parent-side partials and
+// child-side partials:
+// site_p = Σ_c w_c · Σ_i π_i · parent[c,p,i] · Σ_j m[c,i,j]·child[c,p,j].
+// This is the kernel behind CalculateEdgeLogLikelihoods.
+func EdgeSiteLikelihoods[T Real](out []float64, parent, child, m []T, catWeights, freqs []float64, d Dims, lo, hi int) {
+	s := d.StateCount
+	for p := lo; p < hi; p++ {
+		var site float64
+		for c := 0; c < d.CategoryCount; c++ {
+			pOff := (c*d.PatternCount + p) * s
+			mOff := c * s * s
+			pv := parent[pOff : pOff+s]
+			cv := child[pOff : pOff+s]
+			var cat float64
+			for i := 0; i < s; i++ {
+				row := m[mOff+i*s : mOff+(i+1)*s]
+				var inner T
+				for j := 0; j < s; j++ {
+					inner += row[j] * cv[j]
+				}
+				cat += freqs[i] * float64(pv[i]) * float64(inner)
+			}
+			site += catWeights[c] * cat
+		}
+		out[p] = site
+	}
+}
+
+// RescalePartials rescales partials for patterns [lo, hi) by each pattern's
+// maximum entry across states and categories, storing the log of the factor
+// in scale[p]. Patterns whose maximum is zero are left unscaled with a zero
+// scale factor (their likelihood is genuinely zero). Rescaling keeps partials
+// within floating-point range on large trees, especially in single precision.
+func RescalePartials[T Real](partials []T, scale []float64, d Dims, lo, hi int) {
+	s := d.StateCount
+	for p := lo; p < hi; p++ {
+		var max T
+		for c := 0; c < d.CategoryCount; c++ {
+			pOff := (c*d.PatternCount + p) * s
+			for i := 0; i < s; i++ {
+				if v := partials[pOff+i]; v > max {
+					max = v
+				}
+			}
+		}
+		if max <= 0 {
+			scale[p] = 0
+			continue
+		}
+		inv := 1 / max
+		for c := 0; c < d.CategoryCount; c++ {
+			pOff := (c*d.PatternCount + p) * s
+			for i := 0; i < s; i++ {
+				partials[pOff+i] *= inv
+			}
+		}
+		scale[p] = math.Log(float64(max))
+	}
+}
+
+// AccumulateScaleFactors sums the given per-pattern log scale factor buffers
+// into cum for patterns [lo, hi) — the kernel behind
+// AccumulateScaleFactors in the API.
+func AccumulateScaleFactors(cum []float64, factors [][]float64, lo, hi int) {
+	for p := lo; p < hi; p++ {
+		var sum float64
+		for _, f := range factors {
+			sum += f[p]
+		}
+		cum[p] = sum
+	}
+}

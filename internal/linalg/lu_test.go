@@ -1,0 +1,106 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolveKnown(t *testing.T) {
+	a := NewMatrixFrom(3, 3, []float64{
+		2, 1, -1,
+		-3, -1, 2,
+		-2, 1, 2,
+	})
+	f, err := FactorizeLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve([]float64{8, -11, -3})
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("Solve got %v want %v", x, want)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 4})
+	if _, err := FactorizeLU(a); err != ErrSingular {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := FactorizeLU(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{3, 8, 4, 6})
+	f, err := FactorizeLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-(-14)) > 1e-12 {
+		t.Fatalf("Det got %v want -14", d)
+	}
+}
+
+func TestInverseIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Make strongly diagonally dominant so it is well conditioned.
+		for i := 0; i < n; i++ {
+			a.Data[i*n+i] += float64(n) + 1
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(Mul(a, inv), Identity(n)) < 1e-9 &&
+			MaxAbsDiff(Mul(inv, a), Identity(n)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveMatchesInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 5
+	a := NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		a.Data[i*n+i] += 10
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	f, err := FactorizeLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := f.Solve(b)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := inv.MulVec(b)
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-10 {
+			t.Fatalf("Solve and Inverse disagree: %v vs %v", x1, x2)
+		}
+	}
+}

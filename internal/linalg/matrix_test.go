@@ -1,0 +1,154 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d not zero: %v", i, v)
+		}
+	}
+}
+
+func TestNewMatrixPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero dimension")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestNewMatrixFromCopies(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	m := NewMatrixFrom(2, 2, data)
+	data[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("NewMatrixFrom must copy its input")
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := Mul(Identity(2), a)
+	if MaxAbsDiff(got, a) != 0 {
+		t.Fatalf("I·A != A: %v", got.Data)
+	}
+	got = Mul(a, Identity(3))
+	if MaxAbsDiff(got, a) != 0 {
+		t.Fatalf("A·I != A: %v", got.Data)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewMatrixFrom(2, 2, []float64{5, 6, 7, 8})
+	got := Mul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i := range want {
+		if got.Data[i] != want[i] {
+			t.Fatalf("Mul mismatch at %d: got %v want %v", i, got.Data, want)
+		}
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Mul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 0, 2, -1, 3, 1})
+	got := m.MulVec([]float64{3, -2, 1})
+	want := []float64{5, -8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVec got %v want %v", got, want)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("bad transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(6)
+		cols := 1 + rng.Intn(6)
+		m := NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		return MaxAbsDiff(m.Transpose().Transpose(), m) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleAndClone(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	c := m.Clone()
+	m.Scale(2)
+	if m.At(1, 1) != 8 {
+		t.Fatalf("Scale failed: %v", m.Data)
+	}
+	if c.At(1, 1) != 4 {
+		t.Fatal("Clone aliases original data")
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		mk := func() *Matrix {
+			m := NewMatrix(n, n)
+			for i := range m.Data {
+				m.Data[i] = rng.NormFloat64()
+			}
+			return m
+		}
+		a, b, c := mk(), mk(), mk()
+		left := Mul(Mul(a, b), c)
+		right := Mul(a, Mul(b, c))
+		return MaxAbsDiff(left, right) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := NewMatrixFrom(1, 3, []float64{1, 2, 3})
+	b := NewMatrixFrom(1, 3, []float64{1, 2.5, 2})
+	if d := MaxAbsDiff(a, b); math.Abs(d-1) > 1e-15 {
+		t.Fatalf("MaxAbsDiff got %v want 1", d)
+	}
+}

@@ -1,0 +1,71 @@
+package mcmc
+
+import (
+	"errors"
+	"math"
+)
+
+// TraceSummary holds convergence diagnostics for a sampled scalar trace
+// (typically the cold chain's log likelihood).
+type TraceSummary struct {
+	N        int
+	Mean     float64
+	StdDev   float64
+	ESS      float64 // effective sample size
+	AutoCorr float64 // lag-1 autocorrelation
+}
+
+// Summarize computes mean, standard deviation, lag-1 autocorrelation and the
+// effective sample size of a trace, discarding the first burnIn samples.
+// The ESS uses Geyer's initial positive sequence estimator: autocovariances
+// are summed in lag pairs until a pair sum turns non-positive.
+func Summarize(trace []float64, burnIn int) (*TraceSummary, error) {
+	if burnIn < 0 || burnIn >= len(trace) {
+		return nil, errors.New("mcmc: burn-in outside the trace")
+	}
+	x := trace[burnIn:]
+	n := len(x)
+	if n < 4 {
+		return nil, errors.New("mcmc: trace too short to summarize")
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+
+	gamma := func(lag int) float64 {
+		var s float64
+		for i := 0; i+lag < n; i++ {
+			s += (x[i] - mean) * (x[i+lag] - mean)
+		}
+		return s / float64(n)
+	}
+	g0 := gamma(0)
+	if g0 <= 0 {
+		// A constant trace: every sample is independent (and identical).
+		return &TraceSummary{N: n, Mean: mean, StdDev: 0, ESS: float64(n)}, nil
+	}
+
+	// Geyer initial positive sequence: Σ over lag pairs (2t, 2t+1) while the
+	// pair sum stays positive.
+	var tau float64 = g0
+	for lag := 1; lag+1 < n; lag += 2 {
+		pair := gamma(lag) + gamma(lag+1)
+		if pair <= 0 {
+			break
+		}
+		tau += 2 * pair
+	}
+	ess := float64(n) * g0 / tau
+	if ess > float64(n) {
+		ess = float64(n)
+	}
+	return &TraceSummary{
+		N:        n,
+		Mean:     mean,
+		StdDev:   math.Sqrt(g0),
+		ESS:      ess,
+		AutoCorr: gamma(1) / g0,
+	}, nil
+}

@@ -1,0 +1,97 @@
+package mcmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSummarizeIndependentSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 4000)
+	for i := range x {
+		x[i] = 5 + rng.NormFloat64()*2
+	}
+	s, err := Summarize(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Mean-5) > 0.15 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	if math.Abs(s.StdDev-2) > 0.15 {
+		t.Fatalf("stddev %v", s.StdDev)
+	}
+	// Independent samples: ESS close to N.
+	if s.ESS < 0.7*float64(s.N) {
+		t.Fatalf("ESS %v for %d independent samples", s.ESS, s.N)
+	}
+	if math.Abs(s.AutoCorr) > 0.1 {
+		t.Fatalf("lag-1 autocorrelation %v", s.AutoCorr)
+	}
+}
+
+func TestSummarizeCorrelatedSamples(t *testing.T) {
+	// AR(1) with φ=0.95: ESS ≈ N·(1−φ)/(1+φ) ≈ N/39.
+	rng := rand.New(rand.NewSource(2))
+	const n = 8000
+	x := make([]float64, n)
+	for i := 1; i < n; i++ {
+		x[i] = 0.95*x[i-1] + rng.NormFloat64()
+	}
+	s, err := Summarize(x, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AutoCorr < 0.85 {
+		t.Fatalf("lag-1 autocorrelation %v for a strongly correlated chain", s.AutoCorr)
+	}
+	if s.ESS > float64(s.N)/10 {
+		t.Fatalf("ESS %v too high for AR(0.95) with N=%d", s.ESS, s.N)
+	}
+	if s.ESS < 20 {
+		t.Fatalf("ESS %v suspiciously low", s.ESS)
+	}
+}
+
+func TestSummarizeConstantTrace(t *testing.T) {
+	x := []float64{3, 3, 3, 3, 3, 3}
+	s, err := Summarize(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StdDev != 0 || s.ESS != float64(len(x)) {
+		t.Fatalf("constant trace summary %+v", s)
+	}
+}
+
+func TestSummarizeBurnIn(t *testing.T) {
+	// A huge initial transient must not poison the post-burn-in summary.
+	x := make([]float64, 1000)
+	for i := range x {
+		if i < 100 {
+			x[i] = -1e6
+		} else {
+			x[i] = 10
+		}
+	}
+	s, err := Summarize(x, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 10 || s.N != 900 {
+		t.Fatalf("burn-in not applied: %+v", s)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize([]float64{1, 2}, 0); err == nil {
+		t.Fatal("short trace must error")
+	}
+	if _, err := Summarize(make([]float64, 10), 10); err == nil {
+		t.Fatal("burn-in beyond trace must error")
+	}
+	if _, err := Summarize(make([]float64, 10), -1); err == nil {
+		t.Fatal("negative burn-in must error")
+	}
+}

@@ -1,0 +1,388 @@
+// Package mcmc is the application substrate for the paper's Fig. 6
+// benchmark: a Metropolis-coupled Markov chain Monte Carlo (MC3) Bayesian
+// phylogenetic sampler in the style of MrBayes 3.2, with two interchangeable
+// likelihood engines:
+//
+//   - Native: a self-contained pruning implementation standing in for
+//     MrBayes's built-in likelihood code, with an SSE-style 4-state unrolled
+//     single-precision path and chain-level ("MPI") parallelism only;
+//   - Beagle: likelihood evaluation delegated to a library instance, adding
+//     the library's fine-grained parallelism within each chain.
+//
+// The sampler itself (moves, heating, swaps) is engine-independent, so
+// total-runtime comparisons between engines measure exactly what the paper's
+// application-level benchmark measures.
+package mcmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gobeagle"
+	"gobeagle/internal/seqgen"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/tree"
+)
+
+// LikelihoodEngine evaluates the log likelihood of a tree for a fixed
+// dataset and model. Engines are stateful and not safe for concurrent use;
+// each MCMC chain owns one engine.
+type LikelihoodEngine interface {
+	LogLikelihood(t *tree.Tree) (float64, error)
+	Close() error
+}
+
+// NativeEngine is the built-in likelihood implementation: direct Felsenstein
+// pruning with no library support, the stand-in for the MrBayes MPI-SSE
+// baseline. Single precision uses 4-state unrolled arithmetic on float32 for
+// nucleotide data, mirroring MrBayes's SSE path.
+type NativeEngine struct {
+	model  *substmodel.Model
+	rates  *substmodel.SiteRates
+	ps     *seqgen.PatternSet
+	eigen  *eigenCache
+	single bool
+
+	// scratch, sized once
+	probs    [][]float64 // per (node, category) transition matrices
+	partials [][]float64 // per node partials, double path
+	f32parts [][]float32 // per node partials, single path
+	p32      [][]float32 // single-precision matrices
+}
+
+type eigenCache struct {
+	values   []float64
+	vectors  []float64
+	inverse  []float64
+	n        int
+	tmpExp   []float64
+	tmpProbs []float64
+}
+
+// NewNativeEngine builds the baseline engine for a dataset, model and rate
+// mixture; single selects the float32 SSE-style arithmetic (nucleotide data
+// only, as in MrBayes).
+func NewNativeEngine(m *substmodel.Model, rates *substmodel.SiteRates, ps *seqgen.PatternSet, single bool) (*NativeEngine, error) {
+	if ps.StateCount != m.StateCount {
+		return nil, fmt.Errorf("mcmc: pattern state count %d does not match model %d", ps.StateCount, m.StateCount)
+	}
+	if single && m.StateCount != 4 {
+		return nil, errors.New("mcmc: the native SSE single-precision path supports nucleotide data only")
+	}
+	ed, err := m.Eigen()
+	if err != nil {
+		return nil, err
+	}
+	n := m.StateCount
+	return &NativeEngine{
+		model:  m,
+		rates:  rates,
+		ps:     ps,
+		single: single,
+		eigen: &eigenCache{
+			values:  ed.Values,
+			vectors: ed.Vectors.Data,
+			inverse: ed.InverseVectors.Data,
+			n:       n,
+			tmpExp:  make([]float64, n),
+		},
+	}, nil
+}
+
+// Close releases nothing; the native engine holds only host memory.
+func (e *NativeEngine) Close() error { return nil }
+
+// transitionMatrix fills p with P(t) from the cached decomposition.
+func (ec *eigenCache) transitionMatrix(t float64, p []float64) {
+	n := ec.n
+	for k := 0; k < n; k++ {
+		ec.tmpExp[k] = math.Exp(ec.values[k] * t)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += ec.vectors[i*n+k] * ec.tmpExp[k] * ec.inverse[k*n+j]
+			}
+			if s < 0 {
+				s = 0
+			}
+			p[i*n+j] = s
+		}
+	}
+}
+
+// LogLikelihood evaluates the tree by direct pruning.
+func (e *NativeEngine) LogLikelihood(t *tree.Tree) (float64, error) {
+	if e.single {
+		return e.logLikelihoodSingle(t)
+	}
+	return e.logLikelihoodDouble(t)
+}
+
+func (e *NativeEngine) logLikelihoodDouble(t *tree.Tree) (float64, error) {
+	n := e.model.StateCount
+	nc := len(e.rates.Rates)
+	np := e.ps.PatternCount()
+	nodes := t.NodeCount()
+	if e.probs == nil {
+		e.probs = make([][]float64, nodes*nc)
+		for i := range e.probs {
+			e.probs[i] = make([]float64, n*n)
+		}
+		e.partials = make([][]float64, nodes)
+		for i := range e.partials {
+			e.partials[i] = make([]float64, nc*np*n)
+		}
+	}
+	for _, node := range t.Nodes() {
+		if node == t.Root {
+			continue
+		}
+		for c, r := range e.rates.Rates {
+			e.eigen.transitionMatrix(node.Length*r, e.probs[node.Index*nc+c])
+		}
+	}
+	var post func(node *tree.Node)
+	post = func(node *tree.Node) {
+		if node.IsTip() {
+			return
+		}
+		post(node.Left)
+		post(node.Right)
+		dst := e.partials[node.Index]
+		for c := 0; c < nc; c++ {
+			pl := e.probs[node.Left.Index*nc+c]
+			pr := e.probs[node.Right.Index*nc+c]
+			for p := 0; p < np; p++ {
+				off := (c*np + p) * n
+				for i := 0; i < n; i++ {
+					a := e.childSumDouble(node.Left, pl, c, p, i)
+					b := e.childSumDouble(node.Right, pr, c, p, i)
+					dst[off+i] = a * b
+				}
+			}
+		}
+	}
+	post(t.Root)
+
+	var lnL float64
+	root := e.partials[t.Root.Index]
+	for p := 0; p < np; p++ {
+		var site float64
+		for c := 0; c < nc; c++ {
+			off := (c*np + p) * n
+			var cat float64
+			for i := 0; i < n; i++ {
+				cat += e.model.Frequencies[i] * root[off+i]
+			}
+			site += e.rates.Weights[c] * cat
+		}
+		lnL += e.ps.Weights[p] * math.Log(site)
+	}
+	if math.IsNaN(lnL) {
+		return 0, errors.New("mcmc: native likelihood is NaN (underflow?)")
+	}
+	return lnL, nil
+}
+
+func (e *NativeEngine) childSumDouble(child *tree.Node, prob []float64, c, p, i int) float64 {
+	n := e.model.StateCount
+	if child.IsTip() {
+		st := e.ps.Patterns[p][child.Index]
+		if st >= n {
+			return 1
+		}
+		return prob[i*n+st]
+	}
+	cp := e.partials[child.Index]
+	off := (c*e.ps.PatternCount() + p) * n
+	var s float64
+	for j := 0; j < n; j++ {
+		s += prob[i*n+j] * cp[off+j]
+	}
+	return s
+}
+
+// logLikelihoodSingle is the float32 SSE-style path for nucleotide data:
+// fully unrolled over the 4 states, accumulating the final site likelihood
+// in double precision as MrBayes does.
+func (e *NativeEngine) logLikelihoodSingle(t *tree.Tree) (float64, error) {
+	const n = 4
+	nc := len(e.rates.Rates)
+	np := e.ps.PatternCount()
+	nodes := t.NodeCount()
+	if e.p32 == nil {
+		e.p32 = make([][]float32, nodes*nc)
+		for i := range e.p32 {
+			e.p32[i] = make([]float32, n*n)
+		}
+		e.f32parts = make([][]float32, nodes)
+		for i := range e.f32parts {
+			e.f32parts[i] = make([]float32, nc*np*n)
+		}
+	}
+	tmp := make([]float64, n*n)
+	for _, node := range t.Nodes() {
+		if node == t.Root {
+			continue
+		}
+		for c, r := range e.rates.Rates {
+			e.eigen.transitionMatrix(node.Length*r, tmp)
+			dst := e.p32[node.Index*nc+c]
+			for i, v := range tmp {
+				dst[i] = float32(v)
+			}
+		}
+	}
+	var post func(node *tree.Node)
+	post = func(node *tree.Node) {
+		if node.IsTip() {
+			return
+		}
+		post(node.Left)
+		post(node.Right)
+		dst := e.f32parts[node.Index]
+		for c := 0; c < nc; c++ {
+			pl := e.p32[node.Left.Index*nc+c]
+			pr := e.p32[node.Right.Index*nc+c]
+			for p := 0; p < np; p++ {
+				off := (c*np + p) * n
+				l0, l1, l2, l3 := e.childVecSingle(node.Left, pl, c, p)
+				r0, r1, r2, r3 := e.childVecSingle(node.Right, pr, c, p)
+				dst[off+0] = l0 * r0
+				dst[off+1] = l1 * r1
+				dst[off+2] = l2 * r2
+				dst[off+3] = l3 * r3
+			}
+		}
+	}
+	post(t.Root)
+
+	var lnL float64
+	root := e.f32parts[t.Root.Index]
+	f := e.model.Frequencies
+	for p := 0; p < np; p++ {
+		var site float64
+		for c := 0; c < nc; c++ {
+			off := (c*np + p) * n
+			cat := f[0]*float64(root[off]) + f[1]*float64(root[off+1]) +
+				f[2]*float64(root[off+2]) + f[3]*float64(root[off+3])
+			site += e.rates.Weights[c] * cat
+		}
+		lnL += e.ps.Weights[p] * math.Log(site)
+	}
+	if math.IsNaN(lnL) {
+		return 0, errors.New("mcmc: native likelihood is NaN (underflow?)")
+	}
+	return lnL, nil
+}
+
+// childVecSingle returns the 4-wide per-parent-state factor for one child,
+// one pattern: the SSE lane computation.
+func (e *NativeEngine) childVecSingle(child *tree.Node, prob []float32, c, p int) (v0, v1, v2, v3 float32) {
+	if child.IsTip() {
+		st := e.ps.Patterns[p][child.Index]
+		if st >= 4 {
+			return 1, 1, 1, 1
+		}
+		return prob[st], prob[4+st], prob[8+st], prob[12+st]
+	}
+	cp := e.f32parts[child.Index]
+	off := (c*e.ps.PatternCount() + p) * 4
+	a0, a1, a2, a3 := cp[off], cp[off+1], cp[off+2], cp[off+3]
+	v0 = prob[0]*a0 + prob[1]*a1 + prob[2]*a2 + prob[3]*a3
+	v1 = prob[4]*a0 + prob[5]*a1 + prob[6]*a2 + prob[7]*a3
+	v2 = prob[8]*a0 + prob[9]*a1 + prob[10]*a2 + prob[11]*a3
+	v3 = prob[12]*a0 + prob[13]*a1 + prob[14]*a2 + prob[15]*a3
+	return
+}
+
+// BeagleEngine evaluates likelihoods through a library instance. Each chain
+// owns one instance, matching how MrBayes creates one BEAGLE instance per
+// chain.
+type BeagleEngine struct {
+	inst  *gobeagle.Instance
+	model *substmodel.Model
+	rates *substmodel.SiteRates
+	ps    *seqgen.PatternSet
+}
+
+// NewBeagleEngine creates a library-backed engine for the dataset on the
+// given resource with the given flags.
+func NewBeagleEngine(m *substmodel.Model, rates *substmodel.SiteRates, ps *seqgen.PatternSet,
+	t *tree.Tree, resourceID int, flags gobeagle.Flags) (*BeagleEngine, error) {
+	inst, err := gobeagle.NewInstance(gobeagle.Config{
+		TipCount:        t.TipCount,
+		PartialsBuffers: t.NodeCount(),
+		MatrixBuffers:   t.NodeCount(),
+		EigenBuffers:    1,
+		ScaleBuffers:    0,
+		StateCount:      m.StateCount,
+		PatternCount:    ps.PatternCount(),
+		CategoryCount:   len(rates.Rates),
+		ResourceID:      resourceID,
+		Flags:           flags,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ed, err := m.Eigen()
+	if err != nil {
+		inst.Finalize()
+		return nil, err
+	}
+	steps := []error{
+		inst.SetEigenDecomposition(0, ed.Values, ed.Vectors.Data, ed.InverseVectors.Data),
+		inst.SetCategoryRates(rates.Rates),
+		inst.SetCategoryWeights(rates.Weights),
+		inst.SetStateFrequencies(m.Frequencies),
+		inst.SetPatternWeights(ps.Weights),
+	}
+	for _, err := range steps {
+		if err != nil {
+			inst.Finalize()
+			return nil, err
+		}
+	}
+	for i := 0; i < t.TipCount; i++ {
+		if err := inst.SetTipStates(i, ps.TipStates(i)); err != nil {
+			inst.Finalize()
+			return nil, err
+		}
+	}
+	return &BeagleEngine{inst: inst, model: m, rates: rates, ps: ps}, nil
+}
+
+// Instance exposes the underlying library instance (for benchmark
+// instrumentation).
+func (e *BeagleEngine) Instance() *gobeagle.Instance { return e.inst }
+
+// Close finalizes the library instance.
+func (e *BeagleEngine) Close() error { return e.inst.Finalize() }
+
+// LogLikelihood evaluates the tree through the library.
+func (e *BeagleEngine) LogLikelihood(t *tree.Tree) (float64, error) {
+	sched := t.FullSchedule()
+	mats := make([]int, len(sched.Matrices))
+	lens := make([]float64, len(sched.Matrices))
+	for i, mu := range sched.Matrices {
+		mats[i], lens[i] = mu.Matrix, mu.Length
+	}
+	if err := e.inst.UpdateTransitionMatrices(0, mats, lens); err != nil {
+		return 0, err
+	}
+	ops := make([]gobeagle.Operation, len(sched.Ops))
+	for i, op := range sched.Ops {
+		ops[i] = gobeagle.Operation{
+			Destination: op.Dest, DestScaleWrite: gobeagle.None, DestScaleRead: gobeagle.None,
+			Child1: op.Child1, Child1Matrix: op.Child1Mat,
+			Child2: op.Child2, Child2Matrix: op.Child2Mat,
+		}
+	}
+	if err := e.inst.UpdatePartials(ops); err != nil {
+		return 0, err
+	}
+	return e.inst.CalculateRootLogLikelihoods(sched.Root, gobeagle.None)
+}

@@ -1,0 +1,311 @@
+package mcmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gobeagle"
+	"gobeagle/internal/seqgen"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/tree"
+)
+
+func testProblem(t *testing.T, seed int64, tips, sites int) (*tree.Tree, *substmodel.Model, *substmodel.SiteRates, *seqgen.PatternSet) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tr, err := tree.Random(rng, tips, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := substmodel.NewHKY85(2, []float64{0.3, 0.2, 0.25, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := substmodel.SingleRate()
+	align, err := seqgen.Simulate(rng, tr, m, rates, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, m, rates, seqgen.CompressPatterns(align)
+}
+
+func TestNativeMatchesBeagle(t *testing.T) {
+	tr, m, rates, ps := testProblem(t, 1, 8, 300)
+	native, err := NewNativeEngine(m, rates, ps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer native.Close()
+	bg, err := NewBeagleEngine(m, rates, ps, tr, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bg.Close()
+
+	a, err := native.LogLikelihood(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bg.LogLikelihood(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-8*math.Abs(a) {
+		t.Fatalf("native %v beagle %v", a, b)
+	}
+	// Re-evaluation after a branch change must track.
+	tr2 := tr.Clone()
+	tr2.Node(0).Length *= 2
+	a2, _ := native.LogLikelihood(tr2)
+	b2, _ := bg.LogLikelihood(tr2)
+	if a2 == a {
+		t.Fatal("branch change did not affect native likelihood")
+	}
+	if math.Abs(a2-b2) > 1e-8*math.Abs(a2) {
+		t.Fatalf("after change: native %v beagle %v", a2, b2)
+	}
+}
+
+func TestNativeSinglePrecisionTracksDouble(t *testing.T) {
+	tr, m, rates, ps := testProblem(t, 2, 10, 400)
+	d, err := NewNativeEngine(m, rates, ps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewNativeEngine(m, rates, ps, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := d.LogLikelihood(tr)
+	b, _ := s.LogLikelihood(tr)
+	if rel := math.Abs(a-b) / math.Abs(a); rel > 1e-4 {
+		t.Fatalf("single %v double %v rel %v", b, a, rel)
+	}
+}
+
+func TestNativeEngineErrors(t *testing.T) {
+	_, m, rates, ps := testProblem(t, 3, 4, 50)
+	codon, _ := substmodel.NewGY94(2, 0.5, nil)
+	if _, err := NewNativeEngine(codon, rates, ps, false); err == nil {
+		t.Fatal("expected error for state-count mismatch")
+	}
+	rngPs, _ := seqgen.RandomPatterns(rand.New(rand.NewSource(1)), 4, 61, 10)
+	if _, err := NewNativeEngine(codon, rates, rngPs, true); err == nil {
+		t.Fatal("expected error for single precision on codon data")
+	}
+	_ = m
+}
+
+func TestMC3RunImprovesFromPerturbedStart(t *testing.T) {
+	tr, m, rates, ps := testProblem(t, 4, 6, 400)
+	// Perturb branch lengths badly so the sampler has something to find.
+	start := tr.Clone()
+	for _, n := range start.Nodes() {
+		if n != start.Root {
+			n.Length = 1.0
+		}
+	}
+	engines := make([]LikelihoodEngine, 2)
+	for i := range engines {
+		e, err := NewNativeEngine(m, rates, ps, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = e
+	}
+	res, err := Run(Config{
+		Tree:        start,
+		Engines:     engines,
+		Generations: 400,
+		HeatLambda:  0.1,
+		// Branch-length moves only, for a deterministic improvement test.
+		NNIProbability: 0,
+		Seed:           99,
+		Sequential:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 400 {
+		t.Fatalf("trace length %d", len(res.Trace))
+	}
+	first := res.Trace[0]
+	last := res.Trace[len(res.Trace)-1]
+	if last <= first {
+		t.Fatalf("no improvement: first %v last %v", first, last)
+	}
+	if res.ProposedMoves != 800 {
+		t.Fatalf("proposed moves %d want 800", res.ProposedMoves)
+	}
+	if res.AcceptedMoves == 0 {
+		t.Fatal("no accepted moves")
+	}
+	if res.ProposedSwaps == 0 {
+		t.Fatal("no swaps proposed")
+	}
+	if res.FinalTree == nil || res.FinalTree.Validate() != nil {
+		t.Fatal("final tree invalid")
+	}
+}
+
+func TestMC3WithTopologyMovesStaysValid(t *testing.T) {
+	tr, m, rates, ps := testProblem(t, 5, 8, 200)
+	engines := []LikelihoodEngine{}
+	for i := 0; i < 2; i++ {
+		e, err := NewNativeEngine(m, rates, ps, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, e)
+	}
+	res, err := Run(Config{
+		Tree:           tr,
+		Engines:        engines,
+		Generations:    150,
+		HeatLambda:     0.2,
+		NNIProbability: 0.4,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FinalTree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMC3WithBeagleEngines(t *testing.T) {
+	tr, m, rates, ps := testProblem(t, 6, 6, 150)
+	engines := []LikelihoodEngine{}
+	for i := 0; i < 2; i++ {
+		e, err := NewBeagleEngine(m, rates, ps, tr, 0, gobeagle.FlagThreadingThreadPool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		engines = append(engines, e)
+	}
+	res, err := Run(Config{
+		Tree:        tr,
+		Engines:     engines,
+		Generations: 50,
+		HeatLambda:  0.1,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 50 {
+		t.Fatalf("trace length %d", len(res.Trace))
+	}
+}
+
+func TestMC3DeterministicWhenSequential(t *testing.T) {
+	tr, m, rates, ps := testProblem(t, 8, 5, 100)
+	run := func() []float64 {
+		e, err := NewNativeEngine(m, rates, ps, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Tree: tr, Engines: []LikelihoodEngine{e},
+			Generations: 60, Seed: 42, Sequential: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Trace
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic trace at %d", i)
+		}
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	tr, m, rates, ps := testProblem(t, 9, 4, 50)
+	e, _ := NewNativeEngine(m, rates, ps, false)
+	if _, err := Run(Config{Engines: []LikelihoodEngine{e}, Generations: 10}); err == nil {
+		t.Error("expected error for nil tree")
+	}
+	if _, err := Run(Config{Tree: tr, Generations: 10}); err == nil {
+		t.Error("expected error for no engines")
+	}
+	if _, err := Run(Config{Tree: tr, Engines: []LikelihoodEngine{e}}); err == nil {
+		t.Error("expected error for zero generations")
+	}
+	if _, err := Run(Config{Tree: tr, Engines: []LikelihoodEngine{e}, Generations: 5, HeatLambda: -1}); err == nil {
+		t.Error("expected error for negative lambda")
+	}
+	if _, err := Run(Config{Tree: tr, Engines: []LikelihoodEngine{e}, Generations: 5, NNIProbability: 2}); err == nil {
+		t.Error("expected error for bad NNI probability")
+	}
+}
+
+func TestLogPrior(t *testing.T) {
+	tr, _ := tree.ParseNewick("(a:0.1,b:0.2);")
+	// Exponential(mean 0.1): logpdf = -x/0.1 - log(0.1) per branch.
+	want := (-0.1/0.1 - math.Log(0.1)) + (-0.2/0.1 - math.Log(0.1))
+	if got := logPrior(tr, 0.1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("logPrior %v want %v", got, want)
+	}
+}
+
+func TestSplitSupportRecoversTrueClades(t *testing.T) {
+	// With long, strongly informative data, the generating tree's splits
+	// should dominate the posterior split frequencies.
+	tr, m, rates, ps := testProblem(t, 10, 6, 3000)
+	engines := []LikelihoodEngine{}
+	for i := 0; i < 2; i++ {
+		e, err := NewNativeEngine(m, rates, ps, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, e)
+	}
+	res, err := Run(Config{
+		Tree:           tr, // start at the truth so a short run suffices
+		Engines:        engines,
+		Generations:    300,
+		HeatLambda:     0.1,
+		NNIProbability: 0.3,
+		SampleInterval: 2,
+		SampleSplits:   true,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SplitSampleCount == 0 || len(res.SplitSupport) == 0 {
+		t.Fatal("no split samples collected")
+	}
+	for s, f := range res.SplitSupport {
+		if f <= 0 || f > 1 {
+			t.Fatalf("split %q support %v outside (0,1]", s, f)
+		}
+	}
+	// The true splits should be strongly supported.
+	trueSplits, err := tr.Splits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range trueSplits {
+		if res.SplitSupport[s] < 0.5 {
+			t.Errorf("true split %q has support %v", s, res.SplitSupport[s])
+		}
+	}
+}
+
+func TestSplitSupportConfigErrors(t *testing.T) {
+	tr, m, rates, ps := testProblem(t, 11, 4, 50)
+	e, _ := NewNativeEngine(m, rates, ps, false)
+	if _, err := Run(Config{
+		Tree: tr, Engines: []LikelihoodEngine{e},
+		Generations: 10, BurnInFraction: 1.5,
+	}); err == nil {
+		t.Fatal("bad burn-in fraction must error")
+	}
+}

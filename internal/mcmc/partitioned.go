@@ -1,0 +1,64 @@
+package mcmc
+
+import (
+	"errors"
+	"sync"
+
+	"gobeagle/internal/tree"
+)
+
+// PartitionedEngine evaluates a partitioned analysis: one likelihood engine
+// per data subset (each typically its own library instance, possibly on a
+// different resource), all sharing the tree. The joint log likelihood is
+// the sum over partitions, evaluated concurrently — exactly the structure
+// §IV-F describes for partitioned datasets: "application programs running
+// partitioned analyses can invoke multiple library instances, one for each
+// data subset".
+type PartitionedEngine struct {
+	parts []LikelihoodEngine
+}
+
+// NewPartitionedEngine combines per-partition engines into one joint
+// engine.
+func NewPartitionedEngine(parts ...LikelihoodEngine) (*PartitionedEngine, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("mcmc: need at least one partition engine")
+	}
+	return &PartitionedEngine{parts: parts}, nil
+}
+
+// LogLikelihood evaluates every partition concurrently and sums.
+func (e *PartitionedEngine) LogLikelihood(t *tree.Tree) (float64, error) {
+	lnLs := make([]float64, len(e.parts))
+	errs := make([]error, len(e.parts))
+	var wg sync.WaitGroup
+	wg.Add(len(e.parts))
+	for i, p := range e.parts {
+		go func(i int, p LikelihoodEngine) {
+			defer wg.Done()
+			lnLs[i], errs[i] = p.LogLikelihood(t)
+		}(i, p)
+	}
+	wg.Wait()
+	var total float64
+	for i := range lnLs {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		total += lnLs[i]
+	}
+	return total, nil
+}
+
+// Close closes every partition engine, returning the first error.
+func (e *PartitionedEngine) Close() error {
+	var first error
+	for _, p := range e.parts {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+var _ LikelihoodEngine = (*PartitionedEngine)(nil)

@@ -1,0 +1,93 @@
+package mcmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gobeagle/internal/seqgen"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/tree"
+)
+
+func TestPartitionedEngineSumsPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr, err := tree.Random(rng, 6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two genes under different models on the same tree.
+	m1, _ := substmodel.NewHKY85(2, []float64{0.3, 0.2, 0.25, 0.25})
+	m2 := substmodel.NewJC69()
+	a1, _ := seqgen.Simulate(rng, tr, m1, substmodel.SingleRate(), 300)
+	a2, _ := seqgen.Simulate(rng, tr, m2, substmodel.SingleRate(), 200)
+	ps1 := seqgen.CompressPatterns(a1)
+	ps2 := seqgen.CompressPatterns(a2)
+
+	e1, err := NewNativeEngine(m1, substmodel.SingleRate(), ps1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewNativeEngine(m2, substmodel.SingleRate(), ps2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := NewPartitionedEngine(e1, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joint.Close()
+
+	l1, _ := e1.LogLikelihood(tr)
+	l2, _ := e2.LogLikelihood(tr)
+	lj, err := joint.LogLikelihood(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lj-(l1+l2)) > 1e-10*math.Abs(l1+l2) {
+		t.Fatalf("joint %v want %v", lj, l1+l2)
+	}
+}
+
+func TestPartitionedEngineInMC3(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	tr, _ := tree.Random(rng, 5, 0.1)
+	m := substmodel.NewJC69()
+	a1, _ := seqgen.Simulate(rng, tr, m, substmodel.SingleRate(), 150)
+	a2, _ := seqgen.Simulate(rng, tr, m, substmodel.SingleRate(), 150)
+
+	mkJoint := func() LikelihoodEngine {
+		e1, err := NewNativeEngine(m, substmodel.SingleRate(), seqgen.CompressPatterns(a1), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := NewNativeEngine(m, substmodel.SingleRate(), seqgen.CompressPatterns(a2), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := NewPartitionedEngine(e1, e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	res, err := Run(Config{
+		Tree:        tr,
+		Engines:     []LikelihoodEngine{mkJoint(), mkJoint()},
+		Generations: 60,
+		HeatLambda:  0.1,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 60 {
+		t.Fatalf("trace length %d", len(res.Trace))
+	}
+}
+
+func TestPartitionedEngineErrors(t *testing.T) {
+	if _, err := NewPartitionedEngine(); err == nil {
+		t.Fatal("empty partition list must error")
+	}
+}

@@ -1,0 +1,247 @@
+package mcmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"gobeagle/internal/tree"
+)
+
+// Config parameterizes an MC3 run in the style of MrBayes: several
+// incrementally heated chains, Metropolis–Hastings moves on branch lengths
+// and topology, and periodic state-swap proposals between chains.
+type Config struct {
+	// Tree is the starting topology; each chain works on its own clone.
+	Tree *tree.Tree
+	// Engines holds one likelihood engine per chain; len(Engines) is the
+	// chain count (MrBayes and the paper use 4).
+	Engines []LikelihoodEngine
+	// Generations is the number of MCMC generations.
+	Generations int
+	// SwapInterval proposes a chain swap every this many generations
+	// (0 = every generation).
+	SwapInterval int
+	// HeatLambda is the incremental heating parameter: chain i runs at
+	// temperature 1/(1+λ·i). MrBayes defaults to 0.1.
+	HeatLambda float64
+	// BranchPriorMean is the mean of the exponential branch-length prior.
+	BranchPriorMean float64
+	// NNIProbability is the probability a move proposes a topology change
+	// rather than a branch-length change.
+	NNIProbability float64
+	// SampleInterval records the cold chain's log likelihood every this
+	// many generations (0 = every generation).
+	SampleInterval int
+	// SampleSplits additionally records the cold chain's topology at every
+	// sample, accumulating posterior split (clade) frequencies — the key
+	// quantity MrBayes-style analyses report.
+	SampleSplits bool
+	// BurnInFraction discards this leading fraction of samples from the
+	// split frequencies (default 0.25 when SampleSplits is set).
+	BurnInFraction float64
+	// Seed seeds the sampler's random number generator.
+	Seed int64
+	// Sequential disables chain-level parallelism (for deterministic
+	// tests); the default runs chains concurrently, as MrBayes-MPI does.
+	Sequential bool
+}
+
+// Result reports an MC3 run.
+type Result struct {
+	// Trace is the cold chain's sampled log-likelihood trajectory.
+	Trace []float64
+	// FinalTree is the cold chain's final state.
+	FinalTree *tree.Tree
+	// AcceptedMoves / ProposedMoves count within-chain proposals across all
+	// chains.
+	AcceptedMoves, ProposedMoves int
+	// AcceptedSwaps / ProposedSwaps count between-chain swap proposals.
+	AcceptedSwaps, ProposedSwaps int
+	// SplitSupport holds posterior split frequencies over the post-burn-in
+	// cold-chain samples (split key → fraction of samples containing it),
+	// when Config.SampleSplits is set.
+	SplitSupport map[string]float64
+	// SplitSampleCount is the number of topology samples behind
+	// SplitSupport.
+	SplitSampleCount int
+}
+
+// chainState is the per-chain MCMC state.
+type chainState struct {
+	tree *tree.Tree
+	lnL  float64
+	heat float64
+	rng  *rand.Rand
+	eng  LikelihoodEngine
+}
+
+// logPrior is the joint log prior: independent exponential branch lengths.
+func logPrior(t *tree.Tree, mean float64) float64 {
+	var lp float64
+	for _, n := range t.Nodes() {
+		if n == t.Root {
+			continue
+		}
+		lp += -n.Length/mean - math.Log(mean)
+	}
+	return lp
+}
+
+// Run executes the MC3 sampler and returns the run summary.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Tree == nil {
+		return nil, errors.New("mcmc: nil starting tree")
+	}
+	if len(cfg.Engines) == 0 {
+		return nil, errors.New("mcmc: need at least one chain engine")
+	}
+	if cfg.Generations <= 0 {
+		return nil, errors.New("mcmc: generations must be positive")
+	}
+	if cfg.HeatLambda < 0 {
+		return nil, errors.New("mcmc: negative heating parameter")
+	}
+	if cfg.BranchPriorMean <= 0 {
+		cfg.BranchPriorMean = 0.1
+	}
+	if cfg.SwapInterval <= 0 {
+		cfg.SwapInterval = 1
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = 1
+	}
+	if cfg.NNIProbability < 0 || cfg.NNIProbability > 1 {
+		return nil, errors.New("mcmc: NNI probability outside [0,1]")
+	}
+	if cfg.BurnInFraction < 0 || cfg.BurnInFraction >= 1 {
+		return nil, errors.New("mcmc: burn-in fraction outside [0,1)")
+	}
+	if cfg.SampleSplits && cfg.BurnInFraction == 0 {
+		cfg.BurnInFraction = 0.25
+	}
+
+	root := rand.New(rand.NewSource(cfg.Seed))
+	chains := make([]*chainState, len(cfg.Engines))
+	for i, eng := range cfg.Engines {
+		ct := cfg.Tree.Clone()
+		lnL, err := eng.LogLikelihood(ct)
+		if err != nil {
+			return nil, fmt.Errorf("mcmc: initial likelihood of chain %d: %w", i, err)
+		}
+		chains[i] = &chainState{
+			tree: ct,
+			lnL:  lnL,
+			heat: 1 / (1 + cfg.HeatLambda*float64(i)),
+			rng:  rand.New(rand.NewSource(cfg.Seed + int64(i) + 1)),
+			eng:  eng,
+		}
+	}
+
+	res := &Result{}
+	var splitCounts map[string]int
+	moveResults := make([]moveOutcome, len(chains))
+	for gen := 0; gen < cfg.Generations; gen++ {
+		// One move per chain per generation; chains advance concurrently
+		// (the MPI-level concurrency of MrBayes, §VIII-C).
+		if cfg.Sequential {
+			for i, ch := range chains {
+				moveResults[i] = ch.step(cfg)
+			}
+		} else {
+			var wg sync.WaitGroup
+			wg.Add(len(chains))
+			for i, ch := range chains {
+				go func(i int, ch *chainState) {
+					defer wg.Done()
+					moveResults[i] = ch.step(cfg)
+				}(i, ch)
+			}
+			wg.Wait()
+		}
+		for _, mo := range moveResults {
+			res.ProposedMoves++
+			if mo.err != nil {
+				return nil, mo.err
+			}
+			if mo.accepted {
+				res.AcceptedMoves++
+			}
+		}
+
+		// Swap proposal between two random distinct chains.
+		if len(chains) > 1 && gen%cfg.SwapInterval == 0 {
+			i := root.Intn(len(chains))
+			j := root.Intn(len(chains) - 1)
+			if j >= i {
+				j++
+			}
+			res.ProposedSwaps++
+			a, b := chains[i], chains[j]
+			logR := (a.heat-b.heat)*b.lnL + (b.heat-a.heat)*a.lnL
+			if logR >= 0 || root.Float64() < math.Exp(logR) {
+				a.tree, b.tree = b.tree, a.tree
+				a.lnL, b.lnL = b.lnL, a.lnL
+				res.AcceptedSwaps++
+			}
+		}
+		if gen%cfg.SampleInterval == 0 {
+			res.Trace = append(res.Trace, chains[0].lnL)
+			if cfg.SampleSplits && float64(gen) >= cfg.BurnInFraction*float64(cfg.Generations) {
+				splits, err := chains[0].tree.Splits()
+				if err != nil {
+					return nil, fmt.Errorf("mcmc: sampling splits: %w", err)
+				}
+				if splitCounts == nil {
+					splitCounts = make(map[string]int)
+				}
+				for s := range splits {
+					splitCounts[s]++
+				}
+				res.SplitSampleCount++
+			}
+		}
+	}
+	if cfg.SampleSplits && res.SplitSampleCount > 0 {
+		res.SplitSupport = make(map[string]float64, len(splitCounts))
+		for s, c := range splitCounts {
+			res.SplitSupport[s] = float64(c) / float64(res.SplitSampleCount)
+		}
+	}
+	res.FinalTree = chains[0].tree
+	return res, nil
+}
+
+type moveOutcome struct {
+	accepted bool
+	err      error
+}
+
+// step proposes and (maybe) accepts one move on the chain.
+func (ch *chainState) step(cfg Config) moveOutcome {
+	proposal := ch.tree.Clone()
+	var logHastings float64
+	if ch.rng.Float64() < cfg.NNIProbability && proposal.TipCount > 2 {
+		if _, _, err := proposal.NNI(ch.rng); err != nil {
+			return moveOutcome{err: err}
+		}
+	} else {
+		_, lh := proposal.ScaleBranch(ch.rng, 2*math.Ln2)
+		logHastings = lh
+	}
+	lnL, err := ch.eng.LogLikelihood(proposal)
+	if err != nil {
+		return moveOutcome{err: err}
+	}
+	logR := ch.heat*(lnL-ch.lnL) +
+		(logPrior(proposal, cfg.BranchPriorMean) - logPrior(ch.tree, cfg.BranchPriorMean)) +
+		logHastings
+	if logR >= 0 || ch.rng.Float64() < math.Exp(logR) {
+		ch.tree = proposal
+		ch.lnL = lnL
+		return moveOutcome{accepted: true}
+	}
+	return moveOutcome{}
+}

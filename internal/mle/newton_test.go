@@ -1,0 +1,81 @@
+package mle
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewtonMaximizeQuadratic(t *testing.T) {
+	eval := func(x float64) (float64, float64, float64, error) {
+		return -(x - 2.5) * (x - 2.5), -2 * (x - 2.5), -2, nil
+	}
+	x, f, err := NewtonMaximize(eval, 0.1, 0, 10, 1e-12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-2.5) > 1e-9 || math.Abs(f) > 1e-12 {
+		t.Fatalf("x=%v f=%v", x, f)
+	}
+}
+
+func TestNewtonMaximizeLogLikeShape(t *testing.T) {
+	// f(x) = k·ln(x) − n·x has its maximum at x = k/n, like a Poisson
+	// log likelihood.
+	k, n := 7.0, 3.0
+	eval := func(x float64) (float64, float64, float64, error) {
+		return k*math.Log(x) - n*x, k/x - n, -k / (x * x), nil
+	}
+	x, _, err := NewtonMaximize(eval, 5, 1e-6, 50, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-k/n) > 1e-8 {
+		t.Fatalf("argmax %v want %v", x, k/n)
+	}
+}
+
+func TestNewtonMaximizeSafeguards(t *testing.T) {
+	// Start outside the bracket: recentered automatically.
+	eval := func(x float64) (float64, float64, float64, error) {
+		return -(x - 1) * (x - 1), -2 * (x - 1), -2, nil
+	}
+	x, _, err := NewtonMaximize(eval, 99, 0, 4, 1e-10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-1) > 1e-8 {
+		t.Fatalf("argmax %v", x)
+	}
+	// Errors propagate.
+	boom := errors.New("boom")
+	if _, _, err := NewtonMaximize(func(float64) (float64, float64, float64, error) {
+		return 0, 0, 0, boom
+	}, 1, 0, 4, 1e-10, 10); err != boom {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	// Invalid bracket rejected.
+	if _, _, err := NewtonMaximize(eval, 1, 4, 0, 1e-10, 10); err == nil {
+		t.Fatal("inverted bracket must error")
+	}
+}
+
+func TestNewtonMatchesBrentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 0.5 + rng.Float64()*8
+		w := 0.5 + rng.Float64()*3
+		fn := func(x float64) float64 { return -w * (x - c) * (x - c) }
+		eval := func(x float64) (float64, float64, float64, error) {
+			return fn(x), -2 * w * (x - c), -2 * w, nil
+		}
+		xb, _, err1 := BrentMaximize(fn, 0, 10, 1e-10)
+		xn, _, err2 := NewtonMaximize(eval, 5, 0, 10, 1e-12, 100)
+		return err1 == nil && err2 == nil && math.Abs(xb-xn) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,378 @@
+// Package multiimpl implements the load-balancing extension the paper's
+// conclusion plans as future work (§IX): computation dynamically balanced
+// across multiple devices *within a single library instance*, instead of
+// requiring the client program to partition the problem and manage one
+// instance per device.
+//
+// The engine partitions the site patterns into contiguous slices — sized
+// proportionally to each backend's expected throughput — and drives one
+// sub-engine per slice. Setters scatter their per-pattern data, operations
+// execute on all backends concurrently, and likelihood reductions gather
+// partial results. Because patterns are independent in the likelihood
+// function, the partitioned computation is exact.
+package multiimpl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gobeagle/internal/engine"
+)
+
+// Builder constructs a backend engine for one pattern slice. The passed
+// configuration equals the parent configuration except for its pattern
+// count.
+type Builder func(sub engine.Config) (engine.Engine, error)
+
+// Engine is a single logical instance spanning multiple backends.
+type Engine struct {
+	cfg    engine.Config
+	subs   []engine.Engine
+	lo, hi []int // pattern range per backend
+}
+
+// New creates a multi-device engine. shares give the relative throughput of
+// each backend (nil for equal shares); patterns are partitioned
+// proportionally, each backend receiving at least one pattern.
+func New(cfg engine.Config, builders []Builder, shares []float64) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(builders)
+	if n == 0 {
+		return nil, errors.New("multiimpl: need at least one backend")
+	}
+	if shares == nil {
+		shares = make([]float64, n)
+		for i := range shares {
+			shares[i] = 1
+		}
+	}
+	if len(shares) != n {
+		return nil, fmt.Errorf("multiimpl: %d shares for %d backends", len(shares), n)
+	}
+	var total float64
+	for _, s := range shares {
+		if s <= 0 {
+			return nil, errors.New("multiimpl: shares must be positive")
+		}
+		total += s
+	}
+	p := cfg.Dims.PatternCount
+	if p < n {
+		return nil, fmt.Errorf("multiimpl: %d patterns cannot be split across %d backends", p, n)
+	}
+
+	e := &Engine{cfg: cfg, lo: make([]int, n), hi: make([]int, n)}
+	// Proportional contiguous partition with a 1-pattern floor.
+	var acc float64
+	prev := 0
+	for i := 0; i < n; i++ {
+		acc += shares[i]
+		hi := int(float64(p)*acc/total + 0.5)
+		if i == n-1 {
+			hi = p
+		}
+		if hi <= prev {
+			hi = prev + 1
+		}
+		if hi > p-(n-1-i) {
+			hi = p - (n - 1 - i)
+		}
+		e.lo[i], e.hi[i] = prev, hi
+		prev = hi
+	}
+	for i, b := range builders {
+		sub := cfg
+		sub.Dims.PatternCount = e.hi[i] - e.lo[i]
+		eng, err := b(sub)
+		if err != nil {
+			for _, s := range e.subs {
+				s.Close()
+			}
+			return nil, fmt.Errorf("multiimpl: backend %d: %w", i, err)
+		}
+		e.subs = append(e.subs, eng)
+	}
+	return e, nil
+}
+
+// Name lists the backend implementations.
+func (e *Engine) Name() string {
+	s := "Multi["
+	for i, sub := range e.subs {
+		if i > 0 {
+			s += " + "
+		}
+		s += fmt.Sprintf("%s(%d)", sub.Name(), e.hi[i]-e.lo[i])
+	}
+	return s + "]"
+}
+
+// Ranges returns each backend's pattern range, for tests and diagnostics.
+func (e *Engine) Ranges() (lo, hi []int) {
+	return append([]int(nil), e.lo...), append([]int(nil), e.hi...)
+}
+
+// Close closes every backend, returning the first error.
+func (e *Engine) Close() error {
+	var first error
+	for _, s := range e.subs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// parallel runs f for every backend concurrently and returns the first
+// error.
+func (e *Engine) parallel(f func(i int, sub engine.Engine) error) error {
+	errs := make([]error, len(e.subs))
+	var wg sync.WaitGroup
+	wg.Add(len(e.subs))
+	for i, sub := range e.subs {
+		go func(i int, sub engine.Engine) {
+			defer wg.Done()
+			errs[i] = f(i, sub)
+		}(i, sub)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetTipStates scatters compact states across backends.
+func (e *Engine) SetTipStates(buf int, states []int) error {
+	if len(states) != e.cfg.Dims.PatternCount {
+		return fmt.Errorf("multiimpl: tip states length %d, want %d", len(states), e.cfg.Dims.PatternCount)
+	}
+	return e.parallel(func(i int, sub engine.Engine) error {
+		return sub.SetTipStates(buf, states[e.lo[i]:e.hi[i]])
+	})
+}
+
+// SetTipPartials scatters per-pattern tip partials.
+func (e *Engine) SetTipPartials(buf int, partials []float64) error {
+	s := e.cfg.Dims.StateCount
+	if len(partials) != e.cfg.Dims.PatternCount*s {
+		return fmt.Errorf("multiimpl: tip partials length %d, want %d", len(partials), e.cfg.Dims.PatternCount*s)
+	}
+	return e.parallel(func(i int, sub engine.Engine) error {
+		return sub.SetTipPartials(buf, partials[e.lo[i]*s:e.hi[i]*s])
+	})
+}
+
+// SetPartials scatters a full partials buffer (slicing every category
+// block).
+func (e *Engine) SetPartials(buf int, partials []float64) error {
+	d := e.cfg.Dims
+	if len(partials) != d.PartialsLen() {
+		return fmt.Errorf("multiimpl: partials length %d, want %d", len(partials), d.PartialsLen())
+	}
+	return e.parallel(func(i int, sub engine.Engine) error {
+		span := e.hi[i] - e.lo[i]
+		out := make([]float64, d.CategoryCount*span*d.StateCount)
+		for c := 0; c < d.CategoryCount; c++ {
+			src := partials[(c*d.PatternCount+e.lo[i])*d.StateCount : (c*d.PatternCount+e.hi[i])*d.StateCount]
+			copy(out[c*span*d.StateCount:], src)
+		}
+		return sub.SetPartials(buf, out)
+	})
+}
+
+// GetPartials gathers a partials buffer from the backends.
+func (e *Engine) GetPartials(buf int) ([]float64, error) {
+	d := e.cfg.Dims
+	out := make([]float64, d.PartialsLen())
+	err := e.parallel(func(i int, sub engine.Engine) error {
+		part, err := sub.GetPartials(buf)
+		if err != nil {
+			return err
+		}
+		span := e.hi[i] - e.lo[i]
+		for c := 0; c < d.CategoryCount; c++ {
+			dst := out[(c*d.PatternCount+e.lo[i])*d.StateCount : (c*d.PatternCount+e.hi[i])*d.StateCount]
+			copy(dst, part[c*span*d.StateCount:(c*span+span)*d.StateCount])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SetEigenDecomposition broadcasts to every backend.
+func (e *Engine) SetEigenDecomposition(slot int, values, vectors, inverseVectors []float64) error {
+	return e.parallel(func(_ int, sub engine.Engine) error {
+		return sub.SetEigenDecomposition(slot, values, vectors, inverseVectors)
+	})
+}
+
+// SetCategoryRates broadcasts to every backend.
+func (e *Engine) SetCategoryRates(rates []float64) error {
+	return e.parallel(func(_ int, sub engine.Engine) error {
+		return sub.SetCategoryRates(rates)
+	})
+}
+
+// SetCategoryWeights broadcasts to every backend.
+func (e *Engine) SetCategoryWeights(weights []float64) error {
+	return e.parallel(func(_ int, sub engine.Engine) error {
+		return sub.SetCategoryWeights(weights)
+	})
+}
+
+// SetStateFrequencies broadcasts to every backend.
+func (e *Engine) SetStateFrequencies(freqs []float64) error {
+	return e.parallel(func(_ int, sub engine.Engine) error {
+		return sub.SetStateFrequencies(freqs)
+	})
+}
+
+// SetPatternWeights scatters per-pattern weights.
+func (e *Engine) SetPatternWeights(weights []float64) error {
+	if len(weights) != e.cfg.Dims.PatternCount {
+		return fmt.Errorf("multiimpl: %d pattern weights, want %d", len(weights), e.cfg.Dims.PatternCount)
+	}
+	return e.parallel(func(i int, sub engine.Engine) error {
+		return sub.SetPatternWeights(weights[e.lo[i]:e.hi[i]])
+	})
+}
+
+// SetTransitionMatrix broadcasts an explicit matrix.
+func (e *Engine) SetTransitionMatrix(matrix int, values []float64) error {
+	return e.parallel(func(_ int, sub engine.Engine) error {
+		return sub.SetTransitionMatrix(matrix, values)
+	})
+}
+
+// GetTransitionMatrix reads from the first backend (matrices are
+// replicated).
+func (e *Engine) GetTransitionMatrix(matrix int) ([]float64, error) {
+	return e.subs[0].GetTransitionMatrix(matrix)
+}
+
+// UpdateTransitionMatrices broadcasts; every backend computes the same
+// matrices (data parallelism is across patterns, not branches).
+func (e *Engine) UpdateTransitionMatrices(eigenSlot int, matrices []int, edgeLengths []float64) error {
+	return e.parallel(func(_ int, sub engine.Engine) error {
+		return sub.UpdateTransitionMatrices(eigenSlot, matrices, edgeLengths)
+	})
+}
+
+// UpdatePartials executes the operation list on every backend concurrently
+// — each over its own pattern slice. This is the load-balanced execution of
+// §IX.
+func (e *Engine) UpdatePartials(ops []engine.Operation) error {
+	return e.parallel(func(_ int, sub engine.Engine) error {
+		return sub.UpdatePartials(ops)
+	})
+}
+
+// ResetScaleFactors broadcasts.
+func (e *Engine) ResetScaleFactors(scaleBuf int) error {
+	return e.parallel(func(_ int, sub engine.Engine) error {
+		return sub.ResetScaleFactors(scaleBuf)
+	})
+}
+
+// AccumulateScaleFactors broadcasts; each backend accumulates its own
+// pattern slice.
+func (e *Engine) AccumulateScaleFactors(scaleBufs []int, cumBuf int) error {
+	return e.parallel(func(_ int, sub engine.Engine) error {
+		return sub.AccumulateScaleFactors(scaleBufs, cumBuf)
+	})
+}
+
+// CalculateRootLogLikelihoods sums the backends' pattern-slice log
+// likelihoods (patterns are independent, so the partition is exact).
+func (e *Engine) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float64, error) {
+	parts := make([]float64, len(e.subs))
+	err := e.parallel(func(i int, sub engine.Engine) error {
+		lnL, err := sub.CalculateRootLogLikelihoods(rootBuf, cumScaleBuf)
+		parts[i] = lnL
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, p := range parts {
+		total += p
+	}
+	return total, nil
+}
+
+// CalculateEdgeLogLikelihoods sums across backends.
+func (e *Engine) CalculateEdgeLogLikelihoods(parentBuf, childBuf, matrix, cumScaleBuf int) (float64, error) {
+	parts := make([]float64, len(e.subs))
+	err := e.parallel(func(i int, sub engine.Engine) error {
+		lnL, err := sub.CalculateEdgeLogLikelihoods(parentBuf, childBuf, matrix, cumScaleBuf)
+		parts[i] = lnL
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, p := range parts {
+		total += p
+	}
+	return total, nil
+}
+
+// UpdateTransitionDerivatives broadcasts to every backend.
+func (e *Engine) UpdateTransitionDerivatives(eigenSlot int, d1Matrices, d2Matrices []int, edgeLengths []float64) error {
+	return e.parallel(func(_ int, sub engine.Engine) error {
+		return sub.UpdateTransitionDerivatives(eigenSlot, d1Matrices, d2Matrices, edgeLengths)
+	})
+}
+
+// CalculateEdgeDerivatives sums the backends' pattern-slice contributions:
+// the log likelihood and both derivatives are sums over patterns.
+func (e *Engine) CalculateEdgeDerivatives(parentBuf, childBuf, matrix, d1Matrix, d2Matrix, cumScaleBuf int) (float64, float64, float64, error) {
+	lnLs := make([]float64, len(e.subs))
+	d1s := make([]float64, len(e.subs))
+	d2s := make([]float64, len(e.subs))
+	err := e.parallel(func(i int, sub engine.Engine) error {
+		lnL, d1, d2, err := sub.CalculateEdgeDerivatives(parentBuf, childBuf, matrix, d1Matrix, d2Matrix, cumScaleBuf)
+		lnLs[i], d1s[i], d2s[i] = lnL, d1, d2
+		return err
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var lnL, d1, d2 float64
+	for i := range lnLs {
+		lnL += lnLs[i]
+		d1 += d1s[i]
+		d2 += d2s[i]
+	}
+	return lnL, d1, d2, nil
+}
+
+// SiteLogLikelihoods gathers per-pattern log likelihoods in pattern order.
+func (e *Engine) SiteLogLikelihoods(rootBuf, cumScaleBuf int) ([]float64, error) {
+	out := make([]float64, e.cfg.Dims.PatternCount)
+	err := e.parallel(func(i int, sub engine.Engine) error {
+		site, err := sub.SiteLogLikelihoods(rootBuf, cumScaleBuf)
+		if err != nil {
+			return err
+		}
+		copy(out[e.lo[i]:e.hi[i]], site)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+var _ engine.Engine = (*Engine)(nil)

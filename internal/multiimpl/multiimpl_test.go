@@ -1,0 +1,327 @@
+package multiimpl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gobeagle/internal/cpuimpl"
+	"gobeagle/internal/engine"
+	"gobeagle/internal/kernels"
+	"gobeagle/internal/seqgen"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/tree"
+)
+
+func multiConfig(tr *tree.Tree, patterns int) engine.Config {
+	return engine.Config{
+		TipCount:        tr.TipCount,
+		PartialsBuffers: tr.NodeCount(),
+		MatrixBuffers:   tr.NodeCount(),
+		EigenBuffers:    1,
+		ScaleBuffers:    tr.NodeCount() + 1,
+		Dims:            kernels.Dims{StateCount: 4, PatternCount: patterns, CategoryCount: 2},
+	}
+}
+
+func cpuBuilder(mode cpuimpl.Mode) Builder {
+	return func(sub engine.Config) (engine.Engine, error) { return cpuimpl.New(sub, mode) }
+}
+
+// evaluate drives a complete tree likelihood through any engine.
+func evaluate(t *testing.T, e engine.Engine, tr *tree.Tree, m *substmodel.Model,
+	rates *substmodel.SiteRates, ps *seqgen.PatternSet) float64 {
+	t.Helper()
+	ed, err := m.Eigen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []error{
+		e.SetEigenDecomposition(0, ed.Values, ed.Vectors.Data, ed.InverseVectors.Data),
+		e.SetCategoryRates(rates.Rates),
+		e.SetCategoryWeights(rates.Weights),
+		e.SetStateFrequencies(m.Frequencies),
+		e.SetPatternWeights(ps.Weights),
+	}
+	for _, err := range steps {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < tr.TipCount; i++ {
+		if err := e.SetTipStates(i, ps.TipStates(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched := tr.FullSchedule()
+	mats := make([]int, len(sched.Matrices))
+	lens := make([]float64, len(sched.Matrices))
+	for i, mu := range sched.Matrices {
+		mats[i], lens[i] = mu.Matrix, mu.Length
+	}
+	if err := e.UpdateTransitionMatrices(0, mats, lens); err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]engine.Operation, len(sched.Ops))
+	for i, op := range sched.Ops {
+		ops[i] = engine.Operation{
+			Dest: op.Dest, DestScaleWrite: engine.None, DestScaleRead: engine.None,
+			Child1: op.Child1, Child1Mat: op.Child1Mat,
+			Child2: op.Child2, Child2Mat: op.Child2Mat,
+		}
+	}
+	if err := e.UpdatePartials(ops); err != nil {
+		t.Fatal(err)
+	}
+	lnL, err := e.CalculateRootLogLikelihoods(sched.Root, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lnL
+}
+
+func problem(t *testing.T, seed int64, tips, sites int) (*tree.Tree, *substmodel.Model, *substmodel.SiteRates, *seqgen.PatternSet) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tr, err := tree.Random(rng, tips, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := substmodel.NewHKY85(2, []float64{0.3, 0.2, 0.25, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := substmodel.GammaRates(0.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	align, err := seqgen.Simulate(rng, tr, m, rates, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, m, rates, seqgen.CompressPatterns(align)
+}
+
+func TestMultiMatchesSingleEngine(t *testing.T) {
+	tr, m, rates, ps := problem(t, 1, 8, 400)
+	single, err := cpuimpl.New(multiConfig(tr, ps.PatternCount()), cpuimpl.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	want := evaluate(t, single, tr, m, rates, ps)
+
+	for _, backends := range [][]Builder{
+		{cpuBuilder(cpuimpl.Serial), cpuBuilder(cpuimpl.Serial)},
+		{cpuBuilder(cpuimpl.Serial), cpuBuilder(cpuimpl.SSE), cpuBuilder(cpuimpl.ThreadPool)},
+	} {
+		multi, err := New(multiConfig(tr, ps.PatternCount()), backends, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := evaluate(t, multi, tr, m, rates, ps)
+		multi.Close()
+		if math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Fatalf("%d backends: lnL %v want %v", len(backends), got, want)
+		}
+	}
+}
+
+func TestMultiProportionalShares(t *testing.T) {
+	tr, _, _, _ := problem(t, 2, 4, 50)
+	multi, err := New(multiConfig(tr, 100),
+		[]Builder{cpuBuilder(cpuimpl.Serial), cpuBuilder(cpuimpl.Serial)},
+		[]float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Close()
+	lo, hi := multi.Ranges()
+	if lo[0] != 0 || hi[1] != 100 {
+		t.Fatalf("ranges %v %v do not cover the patterns", lo, hi)
+	}
+	if span := hi[0] - lo[0]; span != 75 {
+		t.Fatalf("3:1 shares gave first slice %d patterns", span)
+	}
+}
+
+func TestMultiSiteLogLikelihoodsOrder(t *testing.T) {
+	tr, m, rates, ps := problem(t, 3, 6, 300)
+	single, err := cpuimpl.New(multiConfig(tr, ps.PatternCount()), cpuimpl.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	evaluate(t, single, tr, m, rates, ps)
+	want, err := single.SiteLogLikelihoods(tr.Root.Index, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := New(multiConfig(tr, ps.PatternCount()),
+		[]Builder{cpuBuilder(cpuimpl.Serial), cpuBuilder(cpuimpl.ThreadPool)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Close()
+	evaluate(t, multi, tr, m, rates, ps)
+	got, err := multi.SiteLogLikelihoods(tr.Root.Index, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("site %d: %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMultiGetPartialsGathers(t *testing.T) {
+	tr, m, rates, ps := problem(t, 4, 6, 200)
+	single, err := cpuimpl.New(multiConfig(tr, ps.PatternCount()), cpuimpl.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	evaluate(t, single, tr, m, rates, ps)
+	want, err := single.GetPartials(tr.Root.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := New(multiConfig(tr, ps.PatternCount()),
+		[]Builder{cpuBuilder(cpuimpl.Serial), cpuBuilder(cpuimpl.Serial)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Close()
+	evaluate(t, multi, tr, m, rates, ps)
+	got, err := multi.GetPartials(tr.Root.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("partials gather mismatch at %d", i)
+		}
+	}
+}
+
+func TestMultiSetPartialsRoundTrip(t *testing.T) {
+	tr, _, _, _ := problem(t, 5, 4, 50)
+	multi, err := New(multiConfig(tr, 64),
+		[]Builder{cpuBuilder(cpuimpl.Serial), cpuBuilder(cpuimpl.Serial)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Close()
+	rng := rand.New(rand.NewSource(9))
+	in := make([]float64, 2*64*4)
+	for i := range in {
+		in[i] = rng.Float64()
+	}
+	if err := multi.SetPartials(5, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := multi.GetPartials(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestMultiScalingAgrees(t *testing.T) {
+	tr, m, rates, ps := problem(t, 6, 12, 200)
+	multi, err := New(multiConfig(tr, ps.PatternCount()),
+		[]Builder{cpuBuilder(cpuimpl.Serial), cpuBuilder(cpuimpl.Serial)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Close()
+	plain := evaluate(t, multi, tr, m, rates, ps)
+
+	// Re-run with rescaling on every operation.
+	sched := tr.FullSchedule()
+	ops := make([]engine.Operation, len(sched.Ops))
+	scaleBufs := make([]int, len(sched.Ops))
+	for i, op := range sched.Ops {
+		ops[i] = engine.Operation{
+			Dest: op.Dest, DestScaleWrite: i, DestScaleRead: engine.None,
+			Child1: op.Child1, Child1Mat: op.Child1Mat,
+			Child2: op.Child2, Child2Mat: op.Child2Mat,
+		}
+		scaleBufs[i] = i
+	}
+	if err := multi.UpdatePartials(ops); err != nil {
+		t.Fatal(err)
+	}
+	cum := len(sched.Ops)
+	if err := multi.ResetScaleFactors(cum); err != nil {
+		t.Fatal(err)
+	}
+	if err := multi.AccumulateScaleFactors(scaleBufs, cum); err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := multi.CalculateRootLogLikelihoods(sched.Root, cum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain-scaled) > 1e-9*math.Abs(plain) {
+		t.Fatalf("scaled %v plain %v", scaled, plain)
+	}
+}
+
+func TestMultiErrors(t *testing.T) {
+	tr, _, _, _ := problem(t, 7, 4, 50)
+	cfg := multiConfig(tr, 10)
+	if _, err := New(cfg, nil, nil); err == nil {
+		t.Fatal("no backends must error")
+	}
+	if _, err := New(cfg, []Builder{cpuBuilder(cpuimpl.Serial)}, []float64{1, 2}); err == nil {
+		t.Fatal("share count mismatch must error")
+	}
+	if _, err := New(cfg, []Builder{cpuBuilder(cpuimpl.Serial)}, []float64{-1}); err == nil {
+		t.Fatal("negative share must error")
+	}
+	small := cfg
+	small.Dims.PatternCount = 1
+	builders := []Builder{cpuBuilder(cpuimpl.Serial), cpuBuilder(cpuimpl.Serial)}
+	if _, err := New(small, builders, nil); err == nil {
+		t.Fatal("fewer patterns than backends must error")
+	}
+	bad := cfg
+	bad.TipCount = 0
+	if _, err := New(bad, builders, nil); err == nil {
+		t.Fatal("invalid config must error")
+	}
+	// Builder failure cleans up.
+	failing := []Builder{
+		cpuBuilder(cpuimpl.Serial),
+		func(engine.Config) (engine.Engine, error) { return nil, errTest },
+	}
+	if _, err := New(cfg, failing, nil); err == nil {
+		t.Fatal("builder failure must propagate")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test failure" }
+
+func TestMultiName(t *testing.T) {
+	tr, _, _, _ := problem(t, 8, 4, 50)
+	multi, err := New(multiConfig(tr, 20),
+		[]Builder{cpuBuilder(cpuimpl.Serial), cpuBuilder(cpuimpl.SSE)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Close()
+	name := multi.Name()
+	if name == "" || name[:6] != "Multi[" {
+		t.Fatalf("name %q", name)
+	}
+}

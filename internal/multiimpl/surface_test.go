@@ -1,0 +1,155 @@
+package multiimpl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gobeagle/internal/cpuimpl"
+	"gobeagle/internal/engine"
+)
+
+// TestMultiRemainingSurface covers tip partials, explicit matrices, edge
+// likelihoods and edge derivatives on a pattern-partitioned engine against a
+// single-backend reference.
+func TestMultiRemainingSurface(t *testing.T) {
+	tr, m, rates, ps := problem(t, 10, 4, 300)
+	cfg := multiConfig(tr, ps.PatternCount())
+	cfg.MatrixBuffers = 12
+
+	single, err := cpuimpl.New(cfg, cpuimpl.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	multi, err := New(cfg, []Builder{cpuBuilder(cpuimpl.Serial), cpuBuilder(cpuimpl.SSE)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Close()
+
+	// Expanded tips (SetTipPartials path) on both engines.
+	drive := func(e engine.Engine) {
+		t.Helper()
+		ed, err := m.Eigen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := []error{
+			e.SetEigenDecomposition(0, ed.Values, ed.Vectors.Data, ed.InverseVectors.Data),
+			e.SetCategoryRates(rates.Rates),
+			e.SetCategoryWeights(rates.Weights),
+			e.SetStateFrequencies(m.Frequencies),
+			e.SetPatternWeights(ps.Weights),
+		}
+		for _, err := range steps {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < tr.TipCount; i++ {
+			if err := e.SetTipPartials(i, ps.TipPartials(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sched := tr.FullSchedule()
+		mats := make([]int, len(sched.Matrices))
+		lens := make([]float64, len(sched.Matrices))
+		for i, mu := range sched.Matrices {
+			mats[i], lens[i] = mu.Matrix, mu.Length
+		}
+		if err := e.UpdateTransitionMatrices(0, mats, lens); err != nil {
+			t.Fatal(err)
+		}
+		ops := make([]engine.Operation, len(sched.Ops))
+		for i, op := range sched.Ops {
+			ops[i] = engine.Operation{
+				Dest: op.Dest, DestScaleWrite: engine.None, DestScaleRead: engine.None,
+				Child1: op.Child1, Child1Mat: op.Child1Mat,
+				Child2: op.Child2, Child2Mat: op.Child2Mat,
+			}
+		}
+		if err := e.UpdatePartials(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drive(single)
+	drive(multi)
+
+	// Explicit transition matrix broadcast + read-back.
+	mat := make([]float64, cfg.Dims.MatrixLen())
+	rng := rand.New(rand.NewSource(7))
+	for i := range mat {
+		mat[i] = rng.Float64()
+	}
+	if err := multi.SetTransitionMatrix(11, mat); err != nil {
+		t.Fatal(err)
+	}
+	got, err := multi.GetTransitionMatrix(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mat {
+		if mat[i] != got[i] {
+			t.Fatalf("matrix round trip mismatch at %d", i)
+		}
+	}
+
+	// Edge likelihood and derivatives across the root's joined branch.
+	joined := tr.Root.Left.Length + tr.Root.Right.Length
+	for _, e := range []engine.Engine{single, multi} {
+		if err := e.UpdateTransitionMatrices(0, []int{9}, []float64{joined}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.UpdateTransitionDerivatives(0, []int{10}, []int{8}, []float64{joined}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p1, p2 := tr.Root.Left.Index, tr.Root.Right.Index
+	wantEdge, err := single.CalculateEdgeLogLikelihoods(p1, p2, 9, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEdge, err := multi.CalculateEdgeLogLikelihoods(p1, p2, 9, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wantEdge-gotEdge) > 1e-10*math.Abs(wantEdge) {
+		t.Fatalf("edge lnL %v want %v", gotEdge, wantEdge)
+	}
+	wL, wD1, wD2, err := single.CalculateEdgeDerivatives(p1, p2, 9, 10, 8, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gL, gD1, gD2, err := multi.CalculateEdgeDerivatives(p1, p2, 9, 10, 8, engine.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wL-gL) > 1e-10*math.Abs(wL) ||
+		math.Abs(wD1-gD1) > 1e-9*(1+math.Abs(wD1)) ||
+		math.Abs(wD2-gD2) > 1e-9*(1+math.Abs(wD2)) {
+		t.Fatalf("derivatives (%v %v %v) want (%v %v %v)", gL, gD1, gD2, wL, wD1, wD2)
+	}
+}
+
+func TestMultiInputLengthErrors(t *testing.T) {
+	tr, _, _, _ := problem(t, 11, 4, 60)
+	multi, err := New(multiConfig(tr, 60),
+		[]Builder{cpuBuilder(cpuimpl.Serial), cpuBuilder(cpuimpl.Serial)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Close()
+	if err := multi.SetTipStates(0, make([]int, 10)); err == nil {
+		t.Error("short tip states must error")
+	}
+	if err := multi.SetTipPartials(0, make([]float64, 10)); err == nil {
+		t.Error("short tip partials must error")
+	}
+	if err := multi.SetPartials(0, make([]float64, 10)); err == nil {
+		t.Error("short partials must error")
+	}
+	if err := multi.SetPatternWeights(make([]float64, 10)); err == nil {
+		t.Error("short pattern weights must error")
+	}
+}

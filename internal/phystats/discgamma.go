@@ -1,0 +1,79 @@
+package phystats
+
+import (
+	"errors"
+	"math"
+)
+
+// DiscreteGammaRates returns k category rates approximating a Gamma(alpha,
+// alpha) distribution of relative among-site rates (mean 1), following Yang
+// (1994). With useMedian the category rates are the quantile medians rescaled
+// to mean 1; otherwise they are the category means computed from incomplete
+// gamma differences (the standard "+G" discretization, and what BEAGLE's
+// clients pass via SetCategoryRates).
+func DiscreteGammaRates(alpha float64, k int, useMedian bool) ([]float64, error) {
+	if k <= 0 {
+		return nil, errors.New("phystats: category count must be positive")
+	}
+	if alpha <= 0 {
+		return nil, errors.New("phystats: gamma shape must be positive")
+	}
+	rates := make([]float64, k)
+	if k == 1 {
+		rates[0] = 1
+		return rates, nil
+	}
+	beta := alpha // rate parameter equals shape so the mean is 1
+
+	if useMedian {
+		var sum float64
+		for i := 0; i < k; i++ {
+			p := (2*float64(i) + 1) / (2 * float64(k))
+			r, err := GammaQuantile(p, alpha, beta)
+			if err != nil {
+				return nil, err
+			}
+			rates[i] = r
+			sum += r
+		}
+		for i := range rates {
+			rates[i] *= float64(k) / sum
+		}
+		return rates, nil
+	}
+
+	// Mean of each equal-probability category:
+	// E[X | q_{i} < X < q_{i+1}] · k, via the identity
+	// ∫ x·gamma(x; a, b) dx = (a/b)·GammaP(a+1, b·x).
+	cut := make([]float64, k+1)
+	cut[0] = 0
+	cut[k] = math.Inf(1)
+	for i := 1; i < k; i++ {
+		q, err := GammaQuantile(float64(i)/float64(k), alpha, beta)
+		if err != nil {
+			return nil, err
+		}
+		cut[i] = q
+	}
+	lower := 0.0 // GammaP(alpha+1, beta*cut[0]) == 0
+	for i := 0; i < k; i++ {
+		var upper float64
+		if i == k-1 {
+			upper = 1
+		} else {
+			upper = GammaP(alpha+1, beta*cut[i+1])
+		}
+		rates[i] = (upper - lower) * (alpha / beta) * float64(k)
+		lower = upper
+	}
+	return rates, nil
+}
+
+// UniformCategoryWeights returns k equal category weights summing to 1.
+func UniformCategoryWeights(k int) []float64 {
+	w := make([]float64, k)
+	for i := range w {
+		w[i] = 1 / float64(k)
+	}
+	return w
+}

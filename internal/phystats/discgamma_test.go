@@ -1,0 +1,127 @@
+package phystats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiscreteGammaRatesSingleCategory(t *testing.T) {
+	r, err := DiscreteGammaRates(0.5, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 1 || r[0] != 1 {
+		t.Fatalf("single category must be rate 1, got %v", r)
+	}
+}
+
+func TestDiscreteGammaRatesMeanOne(t *testing.T) {
+	for _, alpha := range []float64{0.1, 0.5, 1, 2, 10} {
+		for _, k := range []int{2, 4, 8} {
+			for _, median := range []bool{false, true} {
+				r, err := DiscreteGammaRates(alpha, k, median)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sum float64
+				for _, v := range r {
+					if v < 0 {
+						t.Fatalf("negative rate in %v", r)
+					}
+					sum += v
+				}
+				if math.Abs(sum/float64(k)-1) > 1e-9 {
+					t.Errorf("alpha=%v k=%d median=%v: mean %v != 1", alpha, k, median, sum/float64(k))
+				}
+			}
+		}
+	}
+}
+
+func TestDiscreteGammaRatesIncreasing(t *testing.T) {
+	r, err := DiscreteGammaRates(0.5, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(r); i++ {
+		if r[i] <= r[i-1] {
+			t.Fatalf("rates must be strictly increasing: %v", r)
+		}
+	}
+}
+
+func TestDiscreteGammaKnownPAMLValues(t *testing.T) {
+	// Reference values for alpha=0.5, k=4, mean discretization, widely
+	// reproduced from Yang (1994) / PAML documentation.
+	want := []float64{0.033388, 0.251916, 0.820268, 2.894428}
+	got, err := DiscreteGammaRates(0.5, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 2e-4 {
+			t.Fatalf("alpha=0.5 k=4: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestDiscreteGammaHighAlphaNearUniform(t *testing.T) {
+	// As alpha → ∞ the distribution degenerates to a point mass at 1.
+	r, err := DiscreteGammaRates(1000, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r {
+		if math.Abs(v-1) > 0.1 {
+			t.Fatalf("large alpha should give rates near 1, got %v", r)
+		}
+	}
+}
+
+func TestDiscreteGammaErrors(t *testing.T) {
+	if _, err := DiscreteGammaRates(0, 4, false); err == nil {
+		t.Fatal("expected error for alpha=0")
+	}
+	if _, err := DiscreteGammaRates(1, 0, false); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+}
+
+func TestDiscreteGammaMeanOneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := 0.05 + rng.Float64()*20
+		k := 1 + rng.Intn(12)
+		r, err := DiscreteGammaRates(alpha, k, rng.Intn(2) == 0)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range r {
+			sum += v
+		}
+		return math.Abs(sum/float64(k)-1) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformCategoryWeights(t *testing.T) {
+	w := UniformCategoryWeights(4)
+	if len(w) != 4 {
+		t.Fatalf("got %d weights", len(w))
+	}
+	var sum float64
+	for _, v := range w {
+		if v != 0.25 {
+			t.Fatalf("weights %v", w)
+		}
+		sum += v
+	}
+	if sum != 1 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}

@@ -1,0 +1,167 @@
+package phystats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLnGammaKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, 0},
+		{2, 0},
+		{3, math.Log(2)},
+		{4, math.Log(6)},
+		{5, math.Log(24)},
+		{0.5, 0.5 * math.Log(math.Pi)},
+		{10, math.Log(362880)},
+	}
+	for _, c := range cases {
+		if got := LnGamma(c.x); math.Abs(got-c.want) > 1e-12*(1+math.Abs(c.want)) {
+			t.Errorf("LnGamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLnGammaRecurrenceProperty(t *testing.T) {
+	// ln Γ(x+1) = ln Γ(x) + ln x.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := 0.1 + rng.Float64()*50
+		lhs := LnGamma(x + 1)
+		rhs := LnGamma(x) + math.Log(x)
+		return math.Abs(lhs-rhs) < 1e-10*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLnGammaInvalid(t *testing.T) {
+	if !math.IsNaN(LnGamma(0)) || !math.IsNaN(LnGamma(-2)) {
+		t.Fatal("LnGamma must be NaN for non-positive arguments")
+	}
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - exp(-x).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := GammaP(1, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("GammaP(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(0.5, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.2, 1, 3} {
+		want := math.Erf(math.Sqrt(x))
+		if got := GammaP(0.5, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("GammaP(0.5,%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestGammaPBounds(t *testing.T) {
+	if GammaP(2, 0) != 0 {
+		t.Fatal("P(a,0) must be 0")
+	}
+	if got := GammaP(3, 1e6); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("P(a,∞) should be 1, got %v", got)
+	}
+	if !math.IsNaN(GammaP(-1, 1)) || !math.IsNaN(GammaP(1, -1)) {
+		t.Fatal("invalid arguments must give NaN")
+	}
+}
+
+func TestGammaPMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.1 + rng.Float64()*20
+		x1 := rng.Float64() * 20
+		x2 := x1 + rng.Float64()*5
+		p1, p2 := GammaP(a, x1), GammaP(a, x2)
+		return p1 >= 0 && p2 <= 1+1e-15 && p2 >= p1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantileKnown(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.8413447460685429, 1}, // Φ(1)
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileEdge(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("quantiles at 0/1 must be ∓∞")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Fatal("quantiles outside [0,1] must be NaN")
+	}
+}
+
+func TestNormalQuantileRoundTripProperty(t *testing.T) {
+	cdf := func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 0.001 + rng.Float64()*0.998
+		return math.Abs(cdf(NormalQuantile(p))-p) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquareQuantileKnown(t *testing.T) {
+	// Well-known chi-square critical values.
+	cases := []struct{ p, v, want float64 }{
+		{0.95, 1, 3.841458820694124},
+		{0.95, 2, 5.991464547107979},
+		{0.99, 5, 15.08627246938899},
+		{0.5, 2, 1.3862943611198906}, // median of Exp(1/2) = 2·ln2
+	}
+	for _, c := range cases {
+		got, err := ChiSquareQuantile(c.p, c.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("ChiSquareQuantile(%v,%v) = %v, want %v", c.p, c.v, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareQuantileErrors(t *testing.T) {
+	for _, c := range []struct{ p, v float64 }{{0, 1}, {1, 1}, {0.5, 0}, {-1, 2}} {
+		if _, err := ChiSquareQuantile(c.p, c.v); err == nil {
+			t.Errorf("expected error for p=%v v=%v", c.p, c.v)
+		}
+	}
+}
+
+func TestGammaQuantileRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shape := 0.2 + rng.Float64()*10
+		rate := 0.2 + rng.Float64()*5
+		p := 0.01 + rng.Float64()*0.98
+		x, err := GammaQuantile(p, shape, rate)
+		if err != nil {
+			return false
+		}
+		return math.Abs(GammaP(shape, rate*x)-p) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package substmodel
+
+import "fmt"
+
+// AminoAcidStates is the number of states in a protein model, ordered
+// alphabetically by one-letter code: A C D E F G H I K L M N P Q R S T V W Y.
+const AminoAcidStates = 20
+
+// AminoAcidAlphabet lists the one-letter codes in state order.
+const AminoAcidAlphabet = "ACDEFGHIKLMNPQRSTVWY"
+
+// NewPoissonAA returns the Poisson amino-acid model (equal exchangeabilities;
+// the protein analogue of JC69) with the given stationary frequencies, or
+// uniform frequencies when freqs is nil.
+func NewPoissonAA(freqs []float64) (*Model, error) {
+	if freqs == nil {
+		freqs = make([]float64, AminoAcidStates)
+		for i := range freqs {
+			freqs[i] = 1.0 / AminoAcidStates
+		}
+	}
+	if len(freqs) != AminoAcidStates {
+		return nil, fmt.Errorf("substmodel: amino-acid model needs 20 frequencies, got %d", len(freqs))
+	}
+	rates := make([]float64, AminoAcidStates*(AminoAcidStates-1)/2)
+	for i := range rates {
+		rates[i] = 1
+	}
+	m, err := NewGeneralReversible("Poisson", rates, freqs)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewGTRAA returns a general time-reversible amino-acid model from 190
+// exchangeabilities (upper triangle, row-major over the state order above)
+// and 20 frequencies. Empirical matrices such as WAG or LG can be loaded
+// through this constructor.
+func NewGTRAA(rates, freqs []float64) (*Model, error) {
+	if len(freqs) != AminoAcidStates {
+		return nil, fmt.Errorf("substmodel: amino-acid model needs 20 frequencies, got %d", len(freqs))
+	}
+	m, err := NewGeneralReversible("GTR20", rates, freqs)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,111 @@
+package substmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"gobeagle/internal/linalg"
+)
+
+// CodonStates is the number of sense codons under the standard genetic code
+// (64 triplets minus the three stop codons TAA, TAG, TGA), the state count of
+// the paper's "codon model" benchmarks.
+const CodonStates = 61
+
+// geneticCode maps each of the 64 codons (index 16·b1 + 4·b2 + b3 with bases
+// ordered A=0, C=1, G=2, T=3) to its amino acid one-letter code, with '*' for
+// stop codons, under the standard genetic code.
+const geneticCode = "KNKNTTTTRSRSIIMI" + // AAx ACx AGx ATx
+	"QHQHPPPPRRRRLLLL" + // CAx CCx CGx CTx
+	"EDEDAAAAGGGGVVVV" + // GAx GCx GGx GTx
+	"*Y*YSSSS*CWCLFLF" //   TAx TCx TGx TTx
+
+// senseCodons lists the 61 codon indices (0..63) that are not stop codons, in
+// ascending order; this is the state ordering of the codon model.
+var senseCodons = buildSenseCodons()
+
+func buildSenseCodons() []int {
+	s := make([]int, 0, CodonStates)
+	for c := 0; c < 64; c++ {
+		if geneticCode[c] != '*' {
+			s = append(s, c)
+		}
+	}
+	return s
+}
+
+// CodonString returns the triplet for sense-codon state i (0..60), e.g. "ATG".
+func CodonString(i int) string {
+	c := senseCodons[i]
+	const bases = "ACGT"
+	return string([]byte{bases[c>>4&3], bases[c>>2&3], bases[c&3]})
+}
+
+// CodonAminoAcid returns the one-letter amino-acid code for sense-codon
+// state i.
+func CodonAminoAcid(i int) byte { return geneticCode[senseCodons[i]] }
+
+// codonDiff classifies the difference between two codons. It returns the
+// number of differing positions; when exactly one position differs it also
+// reports the two differing bases.
+func codonDiff(a, b int) (ndiff int, baseA, baseB int) {
+	for shift := 4; shift >= 0; shift -= 2 {
+		x := a >> shift & 3
+		y := b >> shift & 3
+		if x != y {
+			ndiff++
+			baseA, baseB = x, y
+		}
+	}
+	return ndiff, baseA, baseB
+}
+
+// NewGY94 returns a Goldman–Yang (1994)–style codon model with
+// transition/transversion ratio kappa, nonsynonymous/synonymous ratio omega,
+// and stationary codon frequencies over the 61 sense codons (nil for
+// uniform). Substitutions changing more than one codon position have rate 0.
+func NewGY94(kappa, omega float64, freqs []float64) (*Model, error) {
+	if kappa <= 0 {
+		return nil, errors.New("substmodel: kappa must be positive")
+	}
+	if omega <= 0 {
+		return nil, errors.New("substmodel: omega must be positive")
+	}
+	if freqs == nil {
+		freqs = make([]float64, CodonStates)
+		for i := range freqs {
+			freqs[i] = 1.0 / CodonStates
+		}
+	}
+	if len(freqs) != CodonStates {
+		return nil, fmt.Errorf("substmodel: codon model needs %d frequencies, got %d", CodonStates, len(freqs))
+	}
+	if err := checkFrequencies(freqs); err != nil {
+		return nil, err
+	}
+	n := CodonStates
+	q := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		ci := senseCodons[i]
+		for j := i + 1; j < n; j++ {
+			cj := senseCodons[j]
+			nd, x, y := codonDiff(ci, cj)
+			if nd != 1 {
+				continue
+			}
+			rate := 1.0
+			if isTransition(x, y) {
+				rate = kappa
+			}
+			if geneticCode[ci] != geneticCode[cj] {
+				rate *= omega
+			}
+			q.Data[i*n+j] = rate * freqs[j]
+			q.Data[j*n+i] = rate * freqs[i]
+		}
+	}
+	normalizeQ(q, freqs)
+	f := make([]float64, n)
+	copy(f, freqs)
+	return &Model{Name: "GY94", StateCount: n, Frequencies: f, Q: q}, nil
+}

@@ -1,0 +1,191 @@
+package substmodel
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSenseCodonCount(t *testing.T) {
+	if len(senseCodons) != CodonStates {
+		t.Fatalf("sense codon count %d, want %d", len(senseCodons), CodonStates)
+	}
+	// Exactly three stops in the standard code.
+	stops := strings.Count(geneticCode, "*")
+	if stops != 3 {
+		t.Fatalf("stop codon count %d, want 3", stops)
+	}
+}
+
+func TestGeneticCodeKnownCodons(t *testing.T) {
+	// Find states by triplet and check translation.
+	byTriplet := map[string]byte{}
+	for i := 0; i < CodonStates; i++ {
+		byTriplet[CodonString(i)] = CodonAminoAcid(i)
+	}
+	cases := map[string]byte{
+		"ATG": 'M', // start
+		"TGG": 'W',
+		"AAA": 'K',
+		"TTT": 'F',
+		"GGG": 'G',
+		"TCA": 'S',
+		"AGA": 'R',
+		"CAT": 'H',
+	}
+	for codon, aa := range cases {
+		if got, ok := byTriplet[codon]; !ok || got != aa {
+			t.Errorf("codon %s translates to %c, want %c", codon, got, aa)
+		}
+	}
+	// Stop codons must not be states.
+	for _, stop := range []string{"TAA", "TAG", "TGA"} {
+		if _, ok := byTriplet[stop]; ok {
+			t.Errorf("stop codon %s must not be a model state", stop)
+		}
+	}
+}
+
+func TestCodonDiff(t *testing.T) {
+	// AAA (0) vs AAG (2): one difference at third position, A→G.
+	nd, x, y := codonDiff(0, 2)
+	if nd != 1 || x != BaseA || y != BaseG {
+		t.Fatalf("codonDiff(AAA,AAG) = %d,%d,%d", nd, x, y)
+	}
+	// AAA vs CCC: three differences.
+	if nd, _, _ := codonDiff(0, 21); nd != 3 {
+		t.Fatalf("codonDiff(AAA,CCC) = %d diffs", nd)
+	}
+	if nd, _, _ := codonDiff(5, 5); nd != 0 {
+		t.Fatalf("identical codons reported %d diffs", nd)
+	}
+}
+
+func TestGY94Invariants(t *testing.T) {
+	m, err := NewGY94(2, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StateCount != 61 {
+		t.Fatalf("state count %d", m.StateCount)
+	}
+	checkRateMatrixInvariants(t, m)
+}
+
+func TestGY94MultiStepRatesZero(t *testing.T) {
+	m, err := NewGY94(2, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < CodonStates; i++ {
+		for j := 0; j < CodonStates; j++ {
+			if i == j {
+				continue
+			}
+			nd, _, _ := codonDiff(senseCodons[i], senseCodons[j])
+			if nd > 1 && m.Q.At(i, j) != 0 {
+				t.Fatalf("multi-nucleotide change %s→%s has rate %v",
+					CodonString(i), CodonString(j), m.Q.At(i, j))
+			}
+			if nd == 1 && m.Q.At(i, j) <= 0 {
+				t.Fatalf("single-nucleotide change %s→%s has rate %v",
+					CodonString(i), CodonString(j), m.Q.At(i, j))
+			}
+		}
+	}
+}
+
+func TestGY94KappaOmegaStructure(t *testing.T) {
+	kappa, omega := 3.0, 0.2
+	m, err := NewGY94(kappa, omega, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(triplet string) int {
+		for i := 0; i < CodonStates; i++ {
+			if CodonString(i) == triplet {
+				return i
+			}
+		}
+		t.Fatalf("codon %s not found", triplet)
+		return -1
+	}
+	// Synonymous transversion: GGA→GGC (both Gly, G↔C transversion).
+	sTv := m.Q.At(find("GGA"), find("GGC"))
+	// Synonymous transition: GGA→GGG (both Gly, A↔G transition).
+	sTs := m.Q.At(find("GGA"), find("GGG"))
+	// Nonsynonymous transversion: AAA(K)→ACA(T) is A↔C at pos 2.
+	nTv := m.Q.At(find("AAA"), find("ACA"))
+	// Nonsynonymous transition: AAA(K)→AGA(R) is A↔G at pos 2.
+	nTs := m.Q.At(find("AAA"), find("AGA"))
+
+	if math.Abs(sTs/sTv-kappa) > 1e-9 {
+		t.Errorf("synonymous ts/tv ratio %v want %v", sTs/sTv, kappa)
+	}
+	if math.Abs(nTv/sTv-omega) > 1e-9 {
+		t.Errorf("omega recovered as %v want %v", nTv/sTv, omega)
+	}
+	if math.Abs(nTs/sTv-kappa*omega) > 1e-9 {
+		t.Errorf("nonsyn transition ratio %v want %v", nTs/sTv, kappa*omega)
+	}
+}
+
+func TestGY94TransitionMatrixRowsSumToOne(t *testing.T) {
+	m, err := NewGY94(2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := m.Eigen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, 61*61)
+	ed.TransitionMatrix(0.3, p)
+	for i := 0; i < 61; i++ {
+		var row float64
+		for j := 0; j < 61; j++ {
+			row += p[i*61+j]
+		}
+		if math.Abs(row-1) > 1e-8 {
+			t.Fatalf("row %d sums to %v", i, row)
+		}
+	}
+}
+
+func TestGY94DetailedBalanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		kappa := 0.5 + rng.Float64()*5
+		omega := 0.05 + rng.Float64()*2
+		freqs := randomFreqs(rng, CodonStates)
+		m, err := NewGY94(kappa, omega, freqs)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < CodonStates; i++ {
+			for j := i + 1; j < CodonStates; j++ {
+				if math.Abs(freqs[i]*m.Q.At(i, j)-freqs[j]*m.Q.At(j, i)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGY94Errors(t *testing.T) {
+	if _, err := NewGY94(0, 1, nil); err == nil {
+		t.Fatal("expected error for kappa=0")
+	}
+	if _, err := NewGY94(1, 0, nil); err == nil {
+		t.Fatal("expected error for omega=0")
+	}
+	if _, err := NewGY94(1, 1, make([]float64, 10)); err == nil {
+		t.Fatal("expected error for wrong frequency count")
+	}
+}

@@ -1,0 +1,121 @@
+// Package substmodel builds the continuous-time Markov substitution models
+// used by statistical phylogenetics: the nucleotide family (JC69, K80,
+// HKY85, GTR; 4 states), amino-acid models (Poisson, general time-reversible;
+// 20 states), and Goldman–Yang-style codon models (61 states), together with
+// discrete-gamma among-site rate variation. A model yields a normalized rate
+// matrix Q (one expected substitution per unit branch length), stationary
+// frequencies, and an eigendecomposition, which is exactly the form that the
+// BEAGLE API's SetEigenDecomposition call accepts.
+package substmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"gobeagle/internal/linalg"
+	"gobeagle/internal/phystats"
+)
+
+// Model is a time-reversible substitution model over StateCount states.
+type Model struct {
+	Name        string
+	StateCount  int
+	Frequencies []float64      // stationary distribution π, sums to 1
+	Q           *linalg.Matrix // rate matrix normalized to mean rate 1
+}
+
+// NewGeneralReversible builds a reversible model from symmetric
+// exchangeabilities (upper triangle, row-major: r01, r02, ..., r(n-2)(n-1))
+// and stationary frequencies: q_ij = r_ij·π_j for i≠j. The matrix is
+// normalized so −Σᵢ πᵢ·qᵢᵢ = 1.
+func NewGeneralReversible(name string, rates, freqs []float64) (*Model, error) {
+	n := len(freqs)
+	if n < 2 {
+		return nil, errors.New("substmodel: need at least two states")
+	}
+	if want := n * (n - 1) / 2; len(rates) != want {
+		return nil, fmt.Errorf("substmodel: %d states need %d exchangeabilities, got %d", n, want, len(rates))
+	}
+	if err := checkFrequencies(freqs); err != nil {
+		return nil, err
+	}
+	for _, r := range rates {
+		if r < 0 {
+			return nil, errors.New("substmodel: exchangeabilities must be non-negative")
+		}
+	}
+	q := linalg.NewMatrix(n, n)
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			q.Data[i*n+j] = rates[k] * freqs[j]
+			q.Data[j*n+i] = rates[k] * freqs[i]
+			k++
+		}
+	}
+	normalizeQ(q, freqs)
+	f := make([]float64, n)
+	copy(f, freqs)
+	return &Model{Name: name, StateCount: n, Frequencies: f, Q: q}, nil
+}
+
+// normalizeQ sets the diagonal to minus the off-diagonal row sums and then
+// rescales so the mean substitution rate −Σ πᵢ qᵢᵢ equals 1.
+func normalizeQ(q *linalg.Matrix, freqs []float64) {
+	n := q.Rows
+	var mean float64
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				rowSum += q.Data[i*n+j]
+			}
+		}
+		q.Data[i*n+i] = -rowSum
+		mean += freqs[i] * rowSum
+	}
+	if mean > 0 {
+		q.Scale(1 / mean)
+	}
+}
+
+func checkFrequencies(freqs []float64) error {
+	var sum float64
+	for _, f := range freqs {
+		if f <= 0 {
+			return errors.New("substmodel: frequencies must be positive")
+		}
+		sum += f
+	}
+	if sum < 1-1e-6 || sum > 1+1e-6 {
+		return fmt.Errorf("substmodel: frequencies sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Eigen returns the spectral decomposition of the model's rate matrix.
+func (m *Model) Eigen() (*linalg.EigenDecomposition, error) {
+	return linalg.ReversibleEigen(m.Q, m.Frequencies)
+}
+
+// SiteRates describes discrete among-site rate variation: category rates and
+// the probability weight of each category.
+type SiteRates struct {
+	Rates   []float64
+	Weights []float64
+}
+
+// SingleRate returns the trivial one-category rate model.
+func SingleRate() *SiteRates {
+	return &SiteRates{Rates: []float64{1}, Weights: []float64{1}}
+}
+
+// GammaRates returns a k-category discrete-gamma rate model with shape alpha
+// (mean-based discretization, equal weights), the standard "+G" setup.
+func GammaRates(alpha float64, k int) (*SiteRates, error) {
+	rates, err := phystats.DiscreteGammaRates(alpha, k, false)
+	if err != nil {
+		return nil, err
+	}
+	return &SiteRates{Rates: rates, Weights: phystats.UniformCategoryWeights(k)}, nil
+}

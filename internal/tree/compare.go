@@ -1,0 +1,113 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Splits returns the set of non-trivial bipartitions (splits) the tree's
+// internal edges induce on the tip-name set, each encoded as the sorted,
+// comma-joined smaller side (ties broken lexicographically). Splits are the
+// standard topology-comparison currency: two trees share a split exactly
+// when both contain an edge separating the same two tip sets, and posterior
+// split frequencies are the clade supports Bayesian programs report.
+func (t *Tree) Splits() (map[string]bool, error) {
+	all := make([]string, 0, t.TipCount)
+	for _, tip := range t.Tips() {
+		if tip.Name == "" {
+			return nil, errors.New("tree: bipartitions require named tips")
+		}
+		all = append(all, tip.Name)
+	}
+	sort.Strings(all)
+	total := len(all)
+
+	splits := make(map[string]bool)
+	var walk func(n *Node) []string
+	walk = func(n *Node) []string {
+		if n.IsTip() {
+			return []string{n.Name}
+		}
+		names := append(walk(n.Left), walk(n.Right)...)
+		// The edge above n (if not the root and not trivial) splits names
+		// from the rest.
+		if n.Parent != nil && len(names) >= 2 && total-len(names) >= 2 {
+			side := append([]string(nil), names...)
+			sort.Strings(side)
+			other := complement(all, side)
+			key := strings.Join(side, ",")
+			if len(other) < len(side) || (len(other) == len(side) && strings.Join(other, ",") < key) {
+				key = strings.Join(other, ",")
+			}
+			splits[key] = true
+		}
+		return names
+	}
+	walk(t.Root)
+	return splits, nil
+}
+
+// complement returns the sorted elements of all not present in side (both
+// sorted).
+func complement(all, side []string) []string {
+	out := make([]string, 0, len(all)-len(side))
+	i := 0
+	for _, a := range all {
+		if i < len(side) && side[i] == a {
+			i++
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// RobinsonFoulds returns the Robinson–Foulds distance between two trees over
+// the same tip-name set: the number of bipartitions present in exactly one
+// of the trees. Zero means identical unrooted topologies.
+func RobinsonFoulds(a, b *Tree) (int, error) {
+	if a.TipCount != b.TipCount {
+		return 0, fmt.Errorf("tree: tip counts differ (%d vs %d)", a.TipCount, b.TipCount)
+	}
+	namesA := map[string]bool{}
+	for _, tip := range a.Tips() {
+		namesA[tip.Name] = true
+	}
+	for _, tip := range b.Tips() {
+		if !namesA[tip.Name] {
+			return 0, fmt.Errorf("tree: tip %q missing from the first tree", tip.Name)
+		}
+	}
+	sa, err := a.Splits()
+	if err != nil {
+		return 0, err
+	}
+	sb, err := b.Splits()
+	if err != nil {
+		return 0, err
+	}
+	d := 0
+	for s := range sa {
+		if !sb[s] {
+			d++
+		}
+	}
+	for s := range sb {
+		if !sa[s] {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// MaxRobinsonFoulds returns the maximum possible RF distance for trees with
+// the given number of tips: 2·(n−3) non-trivial splits across two fully
+// resolved unrooted topologies.
+func MaxRobinsonFoulds(tips int) int {
+	if tips < 4 {
+		return 0
+	}
+	return 2 * (tips - 3)
+}

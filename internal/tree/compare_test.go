@@ -1,0 +1,106 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRobinsonFouldsIdentical(t *testing.T) {
+	a, _ := ParseNewick("((a:1,b:1):1,(c:1,d:1):1);")
+	b, _ := ParseNewick("((d:2,c:9):1,(b:3,a:4):1);") // same topology, relabeled order/lengths
+	d, err := RobinsonFoulds(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("identical topologies have RF %d", d)
+	}
+}
+
+func TestRobinsonFouldsDifferent(t *testing.T) {
+	a, _ := ParseNewick("((a:1,b:1):1,(c:1,d:1):1);") // split ab|cd
+	b, _ := ParseNewick("((a:1,c:1):1,(b:1,d:1):1);") // split ac|bd
+	d, err := RobinsonFoulds(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("disjoint 4-tip topologies should have RF 2, got %d", d)
+	}
+	if MaxRobinsonFoulds(4) != 2 {
+		t.Fatalf("max RF for 4 tips is %d", MaxRobinsonFoulds(4))
+	}
+}
+
+func TestRobinsonFouldsSelfZeroProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := Random(rng, 4+rng.Intn(20), 0.1)
+		if err != nil {
+			return false
+		}
+		d, err := RobinsonFoulds(tr, tr.Clone())
+		return err == nil && d == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRobinsonFouldsBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tips := 4 + rng.Intn(16)
+		a, err := Random(rng, tips, 0.1)
+		if err != nil {
+			return false
+		}
+		b, err := Random(rng, tips, 0.1)
+		if err != nil {
+			return false
+		}
+		d, err := RobinsonFoulds(a, b)
+		if err != nil {
+			return false
+		}
+		// Symmetric and bounded.
+		d2, err := RobinsonFoulds(b, a)
+		return err == nil && d == d2 && d >= 0 && d <= MaxRobinsonFoulds(tips)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRobinsonFoulsNNIChangesAtMostTwo(t *testing.T) {
+	// One NNI changes exactly one split, so RF distance ≤ 2.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := Random(rng, 5+rng.Intn(15), 0.1)
+		if err != nil {
+			return false
+		}
+		moved := tr.Clone()
+		if _, _, err := moved.NNI(rng); err != nil {
+			return false
+		}
+		d, err := RobinsonFoulds(tr, moved)
+		return err == nil && d <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRobinsonFouldsErrors(t *testing.T) {
+	a, _ := ParseNewick("((a:1,b:1):1,(c:1,d:1):1);")
+	b, _ := ParseNewick("(x:1,(y:1,z:1):1);")
+	if _, err := RobinsonFoulds(a, b); err == nil {
+		t.Fatal("tip count mismatch must error")
+	}
+	c, _ := ParseNewick("((a:1,b:1):1,(c:1,x:1):1);")
+	if _, err := RobinsonFoulds(a, c); err == nil {
+		t.Fatal("tip name mismatch must error")
+	}
+}

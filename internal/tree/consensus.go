@@ -1,0 +1,184 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MajorityRuleConsensus builds the majority-rule consensus topology from
+// posterior split frequencies (as produced by the MC3 sampler's
+// SplitSupport), returning it as a Newick string with internal nodes
+// labelled by their support — the analogue of MrBayes's sumt consensus
+// tree. Splits with frequency ≥ minFreq are included; minFreq is clamped to
+// be strictly greater than 0.5, which guarantees all retained splits are
+// pairwise compatible. The consensus may contain multifurcations where no
+// majority split resolves a region.
+func MajorityRuleConsensus(tipNames []string, support map[string]float64, minFreq float64) (string, error) {
+	if len(tipNames) < 2 {
+		return "", errors.New("tree: consensus needs at least two tips")
+	}
+	if minFreq <= 0.5 {
+		minFreq = 0.5000001
+	}
+	names := append([]string(nil), tipNames...)
+	sort.Strings(names)
+	for i := 1; i < len(names); i++ {
+		if names[i] == names[i-1] {
+			return "", fmt.Errorf("tree: duplicate tip name %q", names[i])
+		}
+	}
+	all := make(map[string]bool, len(names))
+	for _, n := range names {
+		all[n] = true
+	}
+	ref := names[0] // consensus is rooted at the reference tip's edge
+
+	// Convert each retained split into a clade: the side not containing the
+	// reference tip.
+	type clade struct {
+		tips    map[string]bool
+		support float64
+	}
+	var clades []clade
+	for key, freq := range support {
+		if freq < minFreq {
+			continue
+		}
+		side := strings.Split(key, ",")
+		inSide := make(map[string]bool, len(side))
+		hasRef := false
+		for _, n := range side {
+			if !all[n] {
+				return "", fmt.Errorf("tree: split tip %q not in the tip set", n)
+			}
+			inSide[n] = true
+			if n == ref {
+				hasRef = true
+			}
+		}
+		tips := make(map[string]bool)
+		if hasRef {
+			for _, n := range names {
+				if !inSide[n] {
+					tips[n] = true
+				}
+			}
+		} else {
+			tips = inSide
+		}
+		if len(tips) < 2 || len(tips) >= len(names) {
+			continue // trivial after re-rooting
+		}
+		clades = append(clades, clade{tips: tips, support: freq})
+	}
+	// Majority splits are compatible, but guard against misuse with a
+	// pairwise check (nested or disjoint).
+	for i := range clades {
+		for j := i + 1; j < len(clades); j++ {
+			if !compatibleClades(clades[i].tips, clades[j].tips) {
+				return "", errors.New("tree: incompatible splits (support threshold must exceed 0.5)")
+			}
+		}
+	}
+
+	// Nest clades: each under the smallest strictly containing clade.
+	type cnode struct {
+		tips     map[string]bool
+		support  float64
+		children []*cnode
+	}
+	root := &cnode{tips: all, support: 1}
+	// Insert larger clades first so parents exist before children.
+	sort.Slice(clades, func(i, j int) bool { return len(clades[i].tips) > len(clades[j].tips) })
+	for _, c := range clades {
+		n := &cnode{tips: c.tips, support: c.support}
+		parent := root
+		for {
+			descended := false
+			for _, ch := range parent.children {
+				if containsAll(ch.tips, c.tips) {
+					parent = ch
+					descended = true
+					break
+				}
+			}
+			if !descended {
+				break
+			}
+		}
+		// Adopt existing children that belong inside the new clade.
+		kept := parent.children[:0]
+		for _, ch := range parent.children {
+			if containsAll(c.tips, ch.tips) {
+				n.children = append(n.children, ch)
+			} else {
+				kept = append(kept, ch)
+			}
+		}
+		parent.children = append(kept, n)
+	}
+
+	// Render: tips attach to the smallest clade containing them.
+	var render func(n *cnode) string
+	render = func(n *cnode) string {
+		covered := make(map[string]bool)
+		parts := make([]string, 0, len(n.children)+2)
+		childOf := append([]*cnode(nil), n.children...)
+		sort.Slice(childOf, func(i, j int) bool {
+			return smallestTip(childOf[i].tips) < smallestTip(childOf[j].tips)
+		})
+		for _, ch := range childOf {
+			parts = append(parts, render(ch))
+			for tip := range ch.tips {
+				covered[tip] = true
+			}
+		}
+		for _, tip := range names {
+			if n.tips[tip] && !covered[tip] {
+				parts = append(parts, tip)
+			}
+		}
+		body := "(" + strings.Join(parts, ",") + ")"
+		if n == root {
+			return body
+		}
+		return fmt.Sprintf("%s%.2f", body, n.support)
+	}
+	return render(root) + ";", nil
+}
+
+// compatibleClades reports whether two tip sets are nested or disjoint.
+func compatibleClades(a, b map[string]bool) bool {
+	inter := 0
+	for t := range a {
+		if b[t] {
+			inter++
+		}
+	}
+	return inter == 0 || inter == len(a) || inter == len(b)
+}
+
+// containsAll reports a ⊇ b.
+func containsAll(a, b map[string]bool) bool {
+	if len(b) > len(a) {
+		return false
+	}
+	for t := range b {
+		if !a[t] {
+			return false
+		}
+	}
+	return true
+}
+
+func smallestTip(tips map[string]bool) string {
+	best := ""
+	for t := range tips {
+		if best == "" || t < best {
+			best = t
+		}
+	}
+	return best
+}

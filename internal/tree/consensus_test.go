@@ -1,0 +1,124 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestConsensusFromSingleTopology(t *testing.T) {
+	// All splits at frequency 1 reproduce the source topology.
+	src, err := ParseNewick("((a:1,b:1):1,((c:1,d:1):1,e:1):1);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits, err := src.Splits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	support := map[string]float64{}
+	for s := range splits {
+		support[s] = 1.0
+	}
+	names := []string{"a", "b", "c", "d", "e"}
+	nwk, err := MajorityRuleConsensus(names, support, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rooted at the reference tip "a", the split a,b|c,d,e renders as the
+	// clade (c,d,e) and c,d|a,b,e as (c,d), both with support 1.
+	if !strings.Contains(nwk, "(c,d)1.00") {
+		t.Errorf("consensus %q missing (c,d) clade", nwk)
+	}
+	if !strings.Contains(nwk, "((c,d)1.00,e)1.00") {
+		t.Errorf("consensus %q missing nested (c,d,e) clade", nwk)
+	}
+	if !strings.HasSuffix(nwk, ";") {
+		t.Errorf("consensus %q not Newick-terminated", nwk)
+	}
+}
+
+func TestConsensusDropsMinoritySplits(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	support := map[string]float64{
+		"a,b": 0.9,  // majority: kept
+		"a,c": 0.45, // minority (conflicts with a,b): dropped
+	}
+	nwk, err := MajorityRuleConsensus(names, support, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rooted at "a", the majority split a,b|c,d renders as the (c,d) clade.
+	if !strings.Contains(nwk, "(c,d)0.90") {
+		t.Errorf("consensus %q missing majority clade", nwk)
+	}
+	// The minority split a,c|b,d would render as (b,d); it must be absent.
+	if strings.Contains(nwk, "(b,d)") {
+		t.Errorf("consensus %q contains minority clade", nwk)
+	}
+}
+
+func TestConsensusMultifurcationWhenUnresolved(t *testing.T) {
+	// No split reaches the threshold: a star tree.
+	names := []string{"a", "b", "c", "d"}
+	nwk, err := MajorityRuleConsensus(names, map[string]float64{"a,b": 0.3}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nwk != "(a,b,c,d);" {
+		t.Fatalf("expected star tree, got %q", nwk)
+	}
+}
+
+func TestConsensusRejectsBadInput(t *testing.T) {
+	if _, err := MajorityRuleConsensus([]string{"a"}, nil, 0.6); err == nil {
+		t.Error("single tip must error")
+	}
+	if _, err := MajorityRuleConsensus([]string{"a", "a", "b"}, nil, 0.6); err == nil {
+		t.Error("duplicate names must error")
+	}
+	if _, err := MajorityRuleConsensus([]string{"a", "b", "c", "d"},
+		map[string]float64{"a,x": 0.9}, 0.6); err == nil {
+		t.Error("unknown tip in split must error")
+	}
+	// Incompatible splits above 0.5 cannot both exist in honest data, but
+	// the guard must catch hand-built misuse at a lowered threshold.
+	if _, err := MajorityRuleConsensus([]string{"a", "b", "c", "d"},
+		map[string]float64{"a,b": 0.9, "b,c": 0.9}, 0.6); err == nil {
+		t.Error("incompatible splits must error")
+	}
+}
+
+func TestConsensusAgreesWithSourceTreeProperty(t *testing.T) {
+	// For random binary trees, the consensus of that tree's own splits (all
+	// at frequency 1) must contain every non-trivial clade (relative to the
+	// reference rooting) as a parenthesized group.
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src, err := Random(rng, 4+rng.Intn(8), 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		splits, err := src.Splits()
+		if err != nil {
+			t.Fatal(err)
+		}
+		support := map[string]float64{}
+		for s := range splits {
+			support[s] = 1.0
+		}
+		var names []string
+		for _, tip := range src.Tips() {
+			names = append(names, tip.Name)
+		}
+		nwk, err := MajorityRuleConsensus(names, support, 0.5)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Each retained split appears as a supported group.
+		if strings.Count(nwk, "1.00") != len(splits) {
+			t.Fatalf("seed %d: %d supported groups for %d splits in %q",
+				seed, strings.Count(nwk, "1.00"), len(splits), nwk)
+		}
+	}
+}

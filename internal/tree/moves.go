@@ -1,0 +1,77 @@
+package tree
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// ScaleBranch multiplies one uniformly chosen non-root branch by
+// exp(delta·(u−0.5)) and returns the affected node and the log of the
+// Hastings ratio for the proposal (the log of the multiplier). This is the
+// standard branch-length "multiplier" move of Bayesian phylogenetics.
+func (t *Tree) ScaleBranch(rng *rand.Rand, delta float64) (*Node, float64) {
+	n := t.randomNonRoot(rng)
+	m := math.Exp(delta * (rng.Float64() - 0.5))
+	n.Length *= m
+	return n, math.Log(m)
+}
+
+// randomNonRoot returns a uniformly chosen node other than the root.
+func (t *Tree) randomNonRoot(rng *rand.Rand) *Node {
+	for {
+		n := t.nodes[rng.Intn(len(t.nodes))]
+		if n != t.Root {
+			return n
+		}
+	}
+}
+
+// NNI performs a nearest-neighbor interchange around a uniformly chosen
+// internal edge: one child of the chosen internal node is swapped with its
+// "uncle" (the node's sibling). It returns the two swapped nodes. The move is
+// its own inverse and symmetric, so its Hastings ratio is 1. It returns an
+// error for trees too small to have an internal edge.
+func (t *Tree) NNI(rng *rand.Rand) (swappedChild, swappedUncle *Node, err error) {
+	// Collect internal non-root nodes: each corresponds to an internal edge
+	// (the edge to its parent).
+	var candidates []*Node
+	for _, n := range t.nodes {
+		if !n.IsTip() && n != t.Root {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, nil, errors.New("tree: no internal edge for NNI")
+	}
+	n := candidates[rng.Intn(len(candidates))]
+	parent := n.Parent
+
+	var uncle *Node
+	if parent.Left == n {
+		uncle = parent.Right
+	} else {
+		uncle = parent.Left
+	}
+	var child *Node
+	if rng.Intn(2) == 0 {
+		child = n.Left
+	} else {
+		child = n.Right
+	}
+
+	// Swap child and uncle.
+	if n.Left == child {
+		n.Left = uncle
+	} else {
+		n.Right = uncle
+	}
+	if parent.Left == uncle {
+		parent.Left = child
+	} else {
+		parent.Right = child
+	}
+	child.Parent = parent
+	uncle.Parent = n
+	return child, uncle, nil
+}

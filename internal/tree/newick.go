@@ -1,0 +1,138 @@
+package tree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Newick renders the tree in Newick format with branch lengths.
+func (t *Tree) Newick() string {
+	var b strings.Builder
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsTip() {
+			b.WriteString(n.Name)
+		} else {
+			b.WriteByte('(')
+			walk(n.Left)
+			b.WriteByte(',')
+			walk(n.Right)
+			b.WriteByte(')')
+		}
+		if n.Parent != nil {
+			fmt.Fprintf(&b, ":%g", n.Length)
+		}
+	}
+	walk(t.Root)
+	b.WriteByte(';')
+	return b.String()
+}
+
+type newickParser struct {
+	s   string
+	pos int
+}
+
+// ParseNewick parses a rooted, strictly binary Newick tree with branch
+// lengths (lengths default to 0 when omitted) and returns a tree with
+// buffer indices assigned: tips in left-to-right order, internal nodes in
+// post-order.
+func ParseNewick(s string) (*Tree, error) {
+	p := &newickParser{s: strings.TrimSpace(s)}
+	root, tips, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.s) && p.s[p.pos] == ';' {
+		p.pos++
+	}
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return nil, fmt.Errorf("tree: trailing characters at offset %d in Newick string", p.pos)
+	}
+	if tips < 2 {
+		return nil, fmt.Errorf("tree: Newick tree has %d tips, need at least 2", tips)
+	}
+	t := &Tree{Root: root, TipCount: tips}
+	t.Renumber()
+	return t, nil
+}
+
+func (p *newickParser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t' || p.s[p.pos] == '\n' || p.s[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *newickParser) parseNode() (*Node, int, error) {
+	p.skipSpace()
+	if p.pos >= len(p.s) {
+		return nil, 0, fmt.Errorf("tree: unexpected end of Newick string")
+	}
+	n := &Node{}
+	tips := 0
+	if p.s[p.pos] == '(' {
+		p.pos++ // consume '('
+		left, lt, err := p.parseNode()
+		if err != nil {
+			return nil, 0, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.s) || p.s[p.pos] != ',' {
+			return nil, 0, fmt.Errorf("tree: expected ',' at offset %d (only binary trees are supported)", p.pos)
+		}
+		p.pos++ // consume ','
+		right, rt, err := p.parseNode()
+		if err != nil {
+			return nil, 0, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.s) || p.s[p.pos] != ')' {
+			return nil, 0, fmt.Errorf("tree: expected ')' at offset %d", p.pos)
+		}
+		p.pos++ // consume ')'
+		n.Left, n.Right = left, right
+		left.Parent, right.Parent = n, n
+		tips = lt + rt
+		// Optional internal node label, ignored.
+		p.readName()
+	} else {
+		name := p.readName()
+		if name == "" {
+			return nil, 0, fmt.Errorf("tree: expected tip name at offset %d", p.pos)
+		}
+		n.Name = name
+		tips = 1
+	}
+	p.skipSpace()
+	if p.pos < len(p.s) && p.s[p.pos] == ':' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.s) && (isDigit(p.s[p.pos]) || p.s[p.pos] == '.' || p.s[p.pos] == '-' ||
+			p.s[p.pos] == '+' || p.s[p.pos] == 'e' || p.s[p.pos] == 'E') {
+			p.pos++
+		}
+		v, err := strconv.ParseFloat(p.s[start:p.pos], 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("tree: bad branch length at offset %d: %v", start, err)
+		}
+		n.Length = v
+	}
+	return n, tips, nil
+}
+
+func (p *newickParser) readName() string {
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		if c == ',' || c == ')' || c == '(' || c == ':' || c == ';' || c == ' ' {
+			break
+		}
+		p.pos++
+	}
+	return p.s[start:p.pos]
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

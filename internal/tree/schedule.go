@@ -1,0 +1,121 @@
+package tree
+
+// Op describes one partial-likelihood update in library buffer indices: the
+// partials at Dest are computed from the two children's partials (or compact
+// tip states) combined with their branch transition matrices. The field
+// layout mirrors the BEAGLE operation structure.
+type Op struct {
+	Dest      int // destination partials buffer
+	Child1    int // first child partials (or tip states) buffer
+	Child1Mat int // transition matrix index for the first child's branch
+	Child2    int
+	Child2Mat int
+}
+
+// MatrixUpdate pairs a transition-matrix buffer index with the branch length
+// it must be computed for. By convention matrix i belongs to the branch above
+// node i.
+type MatrixUpdate struct {
+	Matrix int
+	Length float64
+}
+
+// Schedule is everything a client needs to evaluate one tree with the
+// library: which transition matrices to (re)compute, the post-order list of
+// partial updates, and the root buffer to integrate.
+type Schedule struct {
+	Matrices []MatrixUpdate
+	Ops      []Op
+	Root     int
+}
+
+// FullSchedule builds the complete evaluation schedule for the tree: a matrix
+// update for every non-root branch and a partials operation for every
+// internal node in post-order (every child is computed before its parent).
+func (t *Tree) FullSchedule() *Schedule {
+	s := &Schedule{Root: t.Root.Index}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsTip() {
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+		s.Ops = append(s.Ops, Op{
+			Dest:      n.Index,
+			Child1:    n.Left.Index,
+			Child1Mat: n.Left.Index,
+			Child2:    n.Right.Index,
+			Child2Mat: n.Right.Index,
+		})
+	}
+	walk(t.Root)
+	for _, n := range t.nodes {
+		if n != t.Root {
+			s.Matrices = append(s.Matrices, MatrixUpdate{Matrix: n.Index, Length: n.Length})
+		}
+	}
+	return s
+}
+
+// DirtySchedule builds the minimal schedule to re-evaluate the tree after the
+// given nodes were modified (topology or branch length): matrices for the
+// dirty branches and partial updates for every ancestor of a dirty node, in
+// post-order. The caller is responsible for having valid partials elsewhere.
+func (t *Tree) DirtySchedule(dirty []*Node) *Schedule {
+	s := &Schedule{Root: t.Root.Index}
+	needsUpdate := make(map[int]bool)
+	for _, d := range dirty {
+		if d != t.Root {
+			s.Matrices = append(s.Matrices, MatrixUpdate{Matrix: d.Index, Length: d.Length})
+		}
+		for a := d; a != nil; a = a.Parent {
+			if !a.IsTip() {
+				needsUpdate[a.Index] = true
+			}
+		}
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsTip() {
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+		if needsUpdate[n.Index] {
+			s.Ops = append(s.Ops, Op{
+				Dest:      n.Index,
+				Child1:    n.Left.Index,
+				Child1Mat: n.Left.Index,
+				Child2:    n.Right.Index,
+				Child2Mat: n.Right.Index,
+			})
+		}
+	}
+	walk(t.Root)
+	return s
+}
+
+// OpLevels groups operations into dependency levels: all operations within a
+// level are independent of each other (their children are tips or results of
+// earlier levels), so a level can be computed concurrently. This is the
+// structure the paper's "futures" threading approach exploits.
+func OpLevels(ops []Op) [][]Op {
+	level := make(map[int]int) // dest buffer -> level producing it
+	var out [][]Op
+	for _, op := range ops {
+		l := 0
+		if dl, ok := level[op.Child1]; ok && dl+1 > l {
+			l = dl + 1
+		}
+		if dl, ok := level[op.Child2]; ok && dl+1 > l {
+			l = dl + 1
+		}
+		level[op.Dest] = l
+		for len(out) <= l {
+			out = append(out, nil)
+		}
+		out[l] = append(out[l], op)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+// Package tree provides the phylogenetic tree substrate that client programs
+// of the BEAGLE-style library need: rooted binary trees, Newick input and
+// output, random tree generation, post-order operation schedules matching the
+// library's flexibly indexed buffers, and the topology and branch-length
+// moves used by MCMC samplers.
+//
+// The library itself deliberately has no tree type (see the paper's §IV-B);
+// translating a tree into buffer indices and operation lists is the client's
+// job, and this package is that client-side machinery.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Node is a node of a rooted binary phylogenetic tree.
+type Node struct {
+	// Index identifies the node's partials buffer: tips are numbered
+	// 0..TipCount-1 and internal nodes TipCount..2·TipCount-2, with the
+	// root holding the largest index after Renumber.
+	Index  int
+	Name   string  // tip label, empty for internal nodes
+	Length float64 // branch length to the parent; 0 at the root
+	Parent *Node
+	Left   *Node
+	Right  *Node
+}
+
+// IsTip reports whether the node is a leaf.
+func (n *Node) IsTip() bool { return n.Left == nil && n.Right == nil }
+
+// Tree is a rooted binary phylogenetic tree.
+type Tree struct {
+	Root     *Node
+	TipCount int
+	nodes    []*Node // all nodes indexed by Node.Index; rebuilt by Renumber
+}
+
+// NodeCount returns the total number of nodes (2·TipCount − 1).
+func (t *Tree) NodeCount() int { return 2*t.TipCount - 1 }
+
+// Node returns the node with the given buffer index.
+func (t *Tree) Node(index int) *Node { return t.nodes[index] }
+
+// Nodes returns all nodes indexed by buffer index.
+func (t *Tree) Nodes() []*Node { return t.nodes }
+
+// Tips returns the leaf nodes in index order.
+func (t *Tree) Tips() []*Node { return t.nodes[:t.TipCount] }
+
+// Validate checks the structural invariants of a rooted binary tree.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return errors.New("tree: nil root")
+	}
+	seen := make(map[int]bool)
+	tips := 0
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n == nil {
+			return errors.New("tree: nil node")
+		}
+		if seen[n.Index] {
+			return fmt.Errorf("tree: duplicate node index %d", n.Index)
+		}
+		seen[n.Index] = true
+		if (n.Left == nil) != (n.Right == nil) {
+			return fmt.Errorf("tree: node %d has exactly one child", n.Index)
+		}
+		if n.IsTip() {
+			tips++
+			return nil
+		}
+		if n.Left.Parent != n || n.Right.Parent != n {
+			return fmt.Errorf("tree: broken parent link under node %d", n.Index)
+		}
+		if err := walk(n.Left); err != nil {
+			return err
+		}
+		return walk(n.Right)
+	}
+	if err := walk(t.Root); err != nil {
+		return err
+	}
+	if tips != t.TipCount {
+		return fmt.Errorf("tree: found %d tips, expected %d", tips, t.TipCount)
+	}
+	if len(seen) != t.NodeCount() {
+		return fmt.Errorf("tree: found %d nodes, expected %d", len(seen), t.NodeCount())
+	}
+	return nil
+}
+
+// Renumber reassigns buffer indices: tips keep 0..TipCount-1 in their
+// current index order (or are assigned in discovery order when unnumbered),
+// and internal nodes are assigned TipCount.. in post-order, so every internal
+// node has a higher index than both children and the root has the highest
+// index. It also rebuilds the index → node table.
+func (t *Tree) Renumber() {
+	tipIdx := 0
+	internalIdx := t.TipCount
+	t.nodes = make([]*Node, t.NodeCount())
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsTip() {
+			n.Index = tipIdx
+			tipIdx++
+			t.nodes[n.Index] = n
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+		n.Index = internalIdx
+		internalIdx++
+		t.nodes[n.Index] = n
+	}
+	walk(t.Root)
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	var cp func(n, parent *Node) *Node
+	cp = func(n, parent *Node) *Node {
+		if n == nil {
+			return nil
+		}
+		m := &Node{Index: n.Index, Name: n.Name, Length: n.Length, Parent: parent}
+		m.Left = cp(n.Left, m)
+		m.Right = cp(n.Right, m)
+		return m
+	}
+	out := &Tree{Root: cp(t.Root, nil), TipCount: t.TipCount}
+	out.rebuildIndex()
+	return out
+}
+
+// rebuildIndex rebuilds the index → node table without changing indices.
+func (t *Tree) rebuildIndex() {
+	t.nodes = make([]*Node, t.NodeCount())
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		t.nodes[n.Index] = n
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+}
+
+// TotalLength returns the sum of all branch lengths.
+func (t *Tree) TotalLength() float64 {
+	var sum float64
+	for _, n := range t.nodes {
+		if n != t.Root {
+			sum += n.Length
+		}
+	}
+	return sum
+}
+
+// Random generates a random rooted binary tree over tipCount tips named
+// "t0".."tN-1", by iteratively joining two random lineages (a Yule-style
+// construction). Branch lengths are exponential with the given mean.
+func Random(rng *rand.Rand, tipCount int, meanBranchLength float64) (*Tree, error) {
+	if tipCount < 2 {
+		return nil, errors.New("tree: need at least two tips")
+	}
+	if meanBranchLength <= 0 {
+		return nil, errors.New("tree: mean branch length must be positive")
+	}
+	lineages := make([]*Node, tipCount)
+	for i := range lineages {
+		lineages[i] = &Node{
+			Name:   fmt.Sprintf("t%d", i),
+			Length: rng.ExpFloat64() * meanBranchLength,
+		}
+	}
+	for len(lineages) > 1 {
+		i := rng.Intn(len(lineages))
+		a := lineages[i]
+		lineages[i] = lineages[len(lineages)-1]
+		lineages = lineages[:len(lineages)-1]
+		j := rng.Intn(len(lineages))
+		b := lineages[j]
+		parent := &Node{
+			Left:   a,
+			Right:  b,
+			Length: rng.ExpFloat64() * meanBranchLength,
+		}
+		a.Parent = parent
+		b.Parent = parent
+		lineages[j] = parent
+	}
+	t := &Tree{Root: lineages[0], TipCount: tipCount}
+	t.Root.Length = 0
+	t.Renumber()
+	return t, nil
+}

@@ -1,0 +1,279 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomTreeStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tips := range []int{2, 3, 8, 16, 64, 128} {
+		tr, err := Random(rng, tips, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("tips=%d: %v", tips, err)
+		}
+		if tr.NodeCount() != 2*tips-1 {
+			t.Fatalf("tips=%d: node count %d", tips, tr.NodeCount())
+		}
+		// Tips hold indices 0..tips-1 and internal nodes higher indices.
+		for i, n := range tr.Nodes() {
+			if n.Index != i {
+				t.Fatalf("node table mismatch at %d", i)
+			}
+			if i < tips != n.IsTip() {
+				t.Fatalf("index %d tip-ness wrong", i)
+			}
+		}
+		// Post-order numbering: parents have higher indices than children.
+		for _, n := range tr.Nodes() {
+			if !n.IsTip() && (n.Index <= n.Left.Index || n.Index <= n.Right.Index) {
+				t.Fatalf("node %d not post-order above children %d,%d", n.Index, n.Left.Index, n.Right.Index)
+			}
+		}
+		if tr.Root.Index != tr.NodeCount()-1 {
+			t.Fatalf("root index %d want %d", tr.Root.Index, tr.NodeCount()-1)
+		}
+	}
+}
+
+func TestRandomTreeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Random(rng, 1, 0.1); err == nil {
+		t.Fatal("expected error for 1 tip")
+	}
+	if _, err := Random(rng, 4, 0); err == nil {
+		t.Fatal("expected error for zero mean branch length")
+	}
+}
+
+func TestNewickRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tips := 2 + rng.Intn(30)
+		tr, err := Random(rng, tips, 0.2)
+		if err != nil {
+			return false
+		}
+		parsed, err := ParseNewick(tr.Newick())
+		if err != nil {
+			return false
+		}
+		if parsed.Newick() != tr.Newick() {
+			return false
+		}
+		return parsed.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNewickKnown(t *testing.T) {
+	tr, err := ParseNewick("((a:0.1,b:0.2):0.05,c:0.3);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TipCount != 3 {
+		t.Fatalf("tip count %d", tr.TipCount)
+	}
+	names := []string{}
+	for _, tip := range tr.Tips() {
+		names = append(names, tip.Name)
+	}
+	if strings.Join(names, ",") != "a,b,c" {
+		t.Fatalf("tips %v", names)
+	}
+	if math.Abs(tr.TotalLength()-0.65) > 1e-12 {
+		t.Fatalf("total length %v", tr.TotalLength())
+	}
+}
+
+func TestParseNewickErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(a,b",
+		"(a,b,c);",  // non-binary
+		"(a:x,b);",  // bad branch length
+		"(a,b);abc", // trailing garbage
+		"a;",        // single tip
+		"(,b);",     // missing name
+	}
+	for _, s := range bad {
+		if _, err := ParseNewick(s); err == nil {
+			t.Errorf("expected parse error for %q", s)
+		}
+	}
+}
+
+func TestParseNewickNoBranchLengths(t *testing.T) {
+	tr, err := ParseNewick("((a,b),(c,d));")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalLength() != 0 {
+		t.Fatalf("expected zero lengths, got %v", tr.TotalLength())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr, _ := Random(rng, 10, 0.1)
+	cp := tr.Clone()
+	if cp.Newick() != tr.Newick() {
+		t.Fatal("clone differs from original")
+	}
+	cp.Node(0).Length += 1
+	if cp.Newick() == tr.Newick() {
+		t.Fatal("clone shares nodes with original")
+	}
+	if err := cp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullSchedule(t *testing.T) {
+	tr, err := ParseNewick("((a:0.1,b:0.2):0.05,(c:0.3,d:0.4):0.06);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.FullSchedule()
+	if len(s.Ops) != 3 {
+		t.Fatalf("op count %d want 3", len(s.Ops))
+	}
+	if len(s.Matrices) != 6 {
+		t.Fatalf("matrix count %d want 6", len(s.Matrices))
+	}
+	if s.Root != tr.Root.Index {
+		t.Fatalf("root %d want %d", s.Root, tr.Root.Index)
+	}
+	// Post-order: destination buffers appear after any op producing a child.
+	produced := map[int]int{}
+	for i, op := range s.Ops {
+		produced[op.Dest] = i
+	}
+	for i, op := range s.Ops {
+		for _, c := range []int{op.Child1, op.Child2} {
+			if j, ok := produced[c]; ok && j >= i {
+				t.Fatalf("op %d consumes buffer %d produced later (op %d)", i, c, j)
+			}
+		}
+	}
+}
+
+func TestDirtySchedule(t *testing.T) {
+	tr, err := ParseNewick("((a:0.1,b:0.2):0.05,(c:0.3,d:0.4):0.06);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty tip "a": must recompute a's matrix, a's parent, and the root.
+	a := tr.Tips()[0]
+	s := tr.DirtySchedule([]*Node{a})
+	if len(s.Matrices) != 1 || s.Matrices[0].Matrix != a.Index {
+		t.Fatalf("matrices %v", s.Matrices)
+	}
+	if len(s.Ops) != 2 {
+		t.Fatalf("ops %v", s.Ops)
+	}
+	if s.Ops[len(s.Ops)-1].Dest != tr.Root.Index {
+		t.Fatal("last op must rebuild the root partials")
+	}
+}
+
+func TestOpLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr, _ := Random(rng, 32, 0.1)
+	s := tr.FullSchedule()
+	levels := OpLevels(s.Ops)
+	total := 0
+	produced := map[int]int{} // dest -> level
+	for li, lvl := range levels {
+		if len(lvl) == 0 {
+			t.Fatalf("empty level %d", li)
+		}
+		for _, op := range lvl {
+			total++
+			// Children must be tips or produced at a strictly earlier level.
+			for _, c := range []int{op.Child1, op.Child2} {
+				if pl, ok := produced[c]; ok && pl >= li {
+					t.Fatalf("level %d op consumes buffer produced at level %d", li, pl)
+				}
+			}
+			produced[op.Dest] = li
+		}
+	}
+	if total != len(s.Ops) {
+		t.Fatalf("levels hold %d ops, want %d", total, len(s.Ops))
+	}
+}
+
+func TestScaleBranchMove(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr, _ := Random(rng, 8, 0.1)
+	before := tr.TotalLength()
+	n, logHR := tr.ScaleBranch(rng, 1)
+	if n == tr.Root {
+		t.Fatal("must not scale the root branch")
+	}
+	if tr.TotalLength() == before {
+		t.Fatal("branch length unchanged")
+	}
+	if math.IsNaN(logHR) || math.IsInf(logHR, 0) {
+		t.Fatalf("bad Hastings ratio %v", logHR)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNNIPreservesValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := Random(rng, 3+rng.Intn(20), 0.1)
+		if err != nil {
+			return false
+		}
+		tipsBefore := map[string]bool{}
+		for _, tip := range tr.Tips() {
+			tipsBefore[tip.Name] = true
+		}
+		if _, _, err := tr.NNI(rng); err != nil {
+			// Only 3-tip trees might lack internal edges; with a rooted
+			// binary tree of ≥3 tips there is always at least one.
+			return false
+		}
+		tr.Renumber()
+		if tr.Validate() != nil {
+			return false
+		}
+		for _, tip := range tr.Tips() {
+			if !tipsBefore[tip.Name] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNNITooSmall(t *testing.T) {
+	tr, _ := ParseNewick("(a:1,b:1);")
+	if _, _, err := tr.NNI(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for 2-tip tree")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr, _ := ParseNewick("((a:1,b:1):1,c:1);")
+	tr.Root.Left.Parent = nil // break a parent link
+	if err := tr.Validate(); err == nil {
+		t.Fatal("expected validation failure")
+	}
+}

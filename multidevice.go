@@ -1,0 +1,82 @@
+package gobeagle
+
+import (
+	"errors"
+
+	"gobeagle/internal/engine"
+	"gobeagle/internal/kernels"
+	"gobeagle/internal/multiimpl"
+)
+
+// NewMultiDeviceInstance creates a single instance whose computation is
+// partitioned across several resources — the multi-device load balancing the
+// paper's conclusion plans as future work (§IX): "computation can be
+// dynamically load balanced across multiple devices from within a single
+// library instance".
+//
+// Site patterns are split into contiguous slices proportional to shares
+// (one entry per resource; nil for throughput-derived shares) and each
+// slice is computed by an implementation chosen for its resource with the
+// given flags, concurrently. All Instance methods work transparently.
+func NewMultiDeviceInstance(cfg Config, resourceIDs []int, shares []float64) (*Instance, error) {
+	if len(resourceIDs) == 0 {
+		return nil, errors.New("gobeagle: need at least one resource")
+	}
+	resources := ResourceList()
+	if t := cfg.Flags & threadingFlags; t&(t-1) != 0 {
+		return nil, errors.New("gobeagle: at most one threading flag may be set")
+	}
+	selected := make([]*Resource, len(resourceIDs))
+	for i, id := range resourceIDs {
+		if id < 0 || id >= len(resources) {
+			return nil, errors.New("gobeagle: resource id out of range")
+		}
+		selected[i] = resources[id]
+	}
+	if shares == nil {
+		shares = make([]float64, len(selected))
+		for i, r := range selected {
+			shares[i] = throughputShare(r)
+		}
+	}
+
+	ecfg := engine.Config{
+		TipCount:        cfg.TipCount,
+		PartialsBuffers: cfg.PartialsBuffers,
+		MatrixBuffers:   cfg.MatrixBuffers,
+		EigenBuffers:    cfg.EigenBuffers,
+		ScaleBuffers:    cfg.ScaleBuffers,
+		Dims: kernels.Dims{
+			StateCount:    cfg.StateCount,
+			PatternCount:  cfg.PatternCount,
+			CategoryCount: cfg.CategoryCount,
+		},
+		SinglePrecision: cfg.Flags&FlagPrecisionSingle != 0,
+		Threads:         cfg.Threads,
+		MinPatternsWork: cfg.MinPatternsForThreading,
+		WorkGroupSize:   cfg.WorkGroupSize,
+		DisableFMA:      cfg.Flags&FlagDisableFMA != 0,
+	}
+	builders := make([]multiimpl.Builder, len(selected))
+	for i, rsc := range selected {
+		rsc := rsc
+		builders[i] = func(sub engine.Config) (engine.Engine, error) {
+			return buildEngine(sub, rsc, cfg.Flags)
+		}
+	}
+	eng, err := multiimpl.New(ecfg, builders, shares)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{cfg: cfg, eng: eng, rsc: selected[0]}, nil
+}
+
+// throughputShare estimates a resource's relative likelihood throughput for
+// default load balancing: the roofline peak for devices, a per-core estimate
+// for the host.
+func throughputShare(r *Resource) float64 {
+	if d := r.Device(); d != nil {
+		return d.Desc.PeakSPGFLOPS
+	}
+	return 40 * float64(r.Cores) // host CPU: ≈ per-thread effective peak
+}

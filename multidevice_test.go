@@ -1,0 +1,81 @@
+package gobeagle
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gobeagle/internal/device"
+	"gobeagle/internal/seqgen"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/tree"
+)
+
+func TestMultiDeviceInstanceMatchesSingle(t *testing.T) {
+	device.ResetPlatforms()
+	rng := rand.New(rand.NewSource(21))
+	tr, _ := tree.Random(rng, 8, 0.2)
+	m, _ := substmodel.NewHKY85(2, []float64{0.3, 0.2, 0.25, 0.25})
+	rates, _ := substmodel.GammaRates(0.7, 4)
+	align, _ := seqgen.Simulate(rng, tr, m, rates, 300)
+	ps := seqgen.CompressPatterns(align)
+
+	single, err := NewInstance(instanceConfig(tr, 4, ps.PatternCount(), 4, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Finalize()
+	want := evaluateTree(t, single, tr, m, rates, ps)
+
+	// Host CPU + the CUDA GPU + an OpenCL GPU, one logical instance.
+	cuda, err := FindResource("Quadro P5000", "CUDA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	amd, err := FindResource("Radeon R9 Nano", "OpenCL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := NewMultiDeviceInstance(
+		instanceConfig(tr, 4, ps.PatternCount(), 4, 0, 0),
+		[]int{0, cuda.ID, amd.ID}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Finalize()
+	if !strings.HasPrefix(multi.Implementation(), "Multi[") {
+		t.Fatalf("implementation %q", multi.Implementation())
+	}
+	got := evaluateTree(t, multi, tr, m, rates, ps)
+	if math.Abs(got-want) > 1e-8*math.Abs(want) {
+		t.Fatalf("multi-device lnL %v want %v", got, want)
+	}
+	// Default shares favor the GPUs heavily over the 1-40-core host.
+	if !strings.Contains(multi.Implementation(), "CUDA") {
+		t.Fatal("CUDA backend missing from implementation name")
+	}
+}
+
+func TestMultiDeviceInstanceErrors(t *testing.T) {
+	device.ResetPlatforms()
+	rng := rand.New(rand.NewSource(22))
+	tr, _ := tree.Random(rng, 4, 0.1)
+	cfg := instanceConfig(tr, 4, 50, 1, 0, 0)
+	if _, err := NewMultiDeviceInstance(cfg, nil, nil); err == nil {
+		t.Fatal("no resources must error")
+	}
+	if _, err := NewMultiDeviceInstance(cfg, []int{99}, nil); err == nil {
+		t.Fatal("bad resource id must error")
+	}
+	inst, err := NewMultiDeviceInstance(cfg, []int{0}, nil)
+	if err != nil {
+		t.Fatalf("single-resource multi instance should work: %v", err)
+	}
+	inst.Finalize()
+	bad := cfg
+	bad.Flags = FlagThreadingFutures | FlagThreadingThreadPool
+	if _, err := NewMultiDeviceInstance(bad, []int{0}, nil); err == nil {
+		t.Fatal("conflicting threading flags must error")
+	}
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Correctness-check scripts, the analogue of the genomictest test scripts
+# the paper describes in §V-A: "a set of testing scripts which evaluate
+# different analyses types by varying input parameters to our genomictest
+# program". Every configuration cross-validates all compute resources
+# against the serial CPU reference.
+set -e
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "== genomictest -check $*"
+    go run ./cmd/genomictest -check "$@"
+}
+
+# Nucleotide models: precision x rate categories x problem sizes.
+run -states 4 -taxa 8   -patterns 500  -categories 1 -precision double
+run -states 4 -taxa 16  -patterns 1000 -categories 4 -precision double
+run -states 4 -taxa 16  -patterns 1000 -categories 4 -precision single
+run -states 4 -taxa 64  -patterns 200  -categories 2 -precision double
+
+# Amino-acid model.
+run -states 20 -taxa 8 -patterns 200 -categories 2 -precision double
+
+# Codon model.
+run -states 61 -taxa 6 -patterns 100 -categories 1 -precision double
+run -states 61 -taxa 6 -patterns 100 -categories 1 -precision single
+
+echo "all checks passed"

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Runs every example program end to end.
+set -e
+cd "$(dirname "$0")/.."
+for ex in quickstart mlsearch bayes partitioned multidevice; do
+    echo "== examples/$ex"
+    go run "./examples/$ex"
+    echo
+done
+echo "all examples ran"
