@@ -59,7 +59,7 @@ func benchEval(b *testing.B, p *benchmarks.Problem, resourceID int, flags gobeag
 	}
 }
 
-// BenchmarkTable3 measures the four CPU strategies of Table III (single
+// BenchmarkTable3 measures the CPU strategies of Table III (single
 // precision, nucleotide model, 10,000 patterns, 16 tips).
 func BenchmarkTable3(b *testing.B) {
 	p, err := benchmarks.NewProblem(3, 16, 4, 10000, 4)
@@ -74,10 +74,35 @@ func BenchmarkTable3(b *testing.B) {
 		{"futures", gobeagle.FlagThreadingFutures},
 		{"threadcreate", gobeagle.FlagThreadingThreadCreate},
 		{"threadpool", gobeagle.FlagThreadingThreadPool},
+		{"hybrid", gobeagle.FlagThreadingThreadPoolHybrid},
 	} {
 		b.Run(c.name, func(b *testing.B) {
 			benchEval(b, p, 0, c.flags|gobeagle.FlagPrecisionSingle, 0)
 		})
+	}
+}
+
+// BenchmarkTable3Hybrid measures the small-pattern regime of the Table III
+// extension: 64 tips at 128–512 patterns, where the plain pattern-chunking
+// strategies fall back to serial but the hybrid op×pattern scheduler keeps
+// the pool busy on independent operations.
+func BenchmarkTable3Hybrid(b *testing.B) {
+	for _, patterns := range []int{128, 256, 512} {
+		p, err := benchmarks.NewProblem(int64(patterns), 64, 4, patterns, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range []struct {
+			name  string
+			flags gobeagle.Flags
+		}{
+			{"threadpool", gobeagle.FlagThreadingThreadPool},
+			{"hybrid", gobeagle.FlagThreadingThreadPoolHybrid},
+		} {
+			b.Run(benchName(c.name+"-p", patterns), func(b *testing.B) {
+				benchEval(b, p, 0, c.flags|gobeagle.FlagPrecisionSingle, 0)
+			})
+		}
 	}
 }
 

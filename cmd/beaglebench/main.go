@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	beaglebench -experiment table3|table4|table5|fig4|fig5|fig6|all
+//	beaglebench -experiment table3|table3hybrid|table4|table5|fig4|fig5|fig6|all
 package main
 
 import (
@@ -21,18 +21,19 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table3, table4, table5, fig4, fig5, fig6, or all")
+	experiment := flag.String("experiment", "all", "table3, table3hybrid, table4, table5, fig4, fig5, fig6, or all")
 	flag.Parse()
 
 	runners := map[string]func(io.Writer) error{
-		"table3": runTable3,
-		"table4": runTable4,
-		"table5": runTable5,
-		"fig4":   runFig4,
-		"fig5":   runFig5,
-		"fig6":   runFig6,
+		"table3":       runTable3,
+		"table3hybrid": runTable3Hybrid,
+		"table4":       runTable4,
+		"table5":       runTable5,
+		"fig4":         runFig4,
+		"fig5":         runFig5,
+		"fig6":         runFig6,
 	}
-	order := []string{"table3", "table4", "table5", "fig4", "fig5", "fig6"}
+	order := []string{"table3", "table3hybrid", "table4", "table5", "fig4", "fig5", "fig6"}
 
 	selected := []string{}
 	if *experiment == "all" {
@@ -60,6 +61,15 @@ func runTable3(w io.Writer) error {
 		return err
 	}
 	benchmarks.PrintTable3(w, rows)
+	return nil
+}
+
+func runTable3Hybrid(w io.Writer) error {
+	rows, err := benchmarks.Table3Hybrid(true)
+	if err != nil {
+		return err
+	}
+	benchmarks.PrintTable3Hybrid(w, rows)
 	return nil
 }
 

@@ -37,7 +37,7 @@ func main() {
 		empirical = flag.Bool("empirical-freqs", true, "use observed base frequencies (hky, gtr)")
 		resource  = flag.String("resource", "CPU (host)", "compute resource name")
 		framework = flag.String("framework", "", "restrict resource lookup to CUDA or OpenCL")
-		threading = flag.String("threading", "threadpool", "CPU threading: none, futures, threadcreate, threadpool")
+		threading = flag.String("threading", "threadpool", "CPU threading: none, futures, threadcreate, threadpool, hybrid")
 		optimize  = flag.Bool("optimize", false, "optimize branch lengths by maximum likelihood")
 	)
 	flag.Parse()
@@ -91,6 +91,8 @@ func main() {
 		flags |= gobeagle.FlagThreadingThreadCreate
 	case "threadpool":
 		flags |= gobeagle.FlagThreadingThreadPool
+	case "hybrid", "threadpoolhybrid":
+		flags |= gobeagle.FlagThreadingThreadPoolHybrid
 	default:
 		fatal(fmt.Errorf("unknown threading %q", *threading))
 	}

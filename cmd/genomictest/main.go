@@ -33,7 +33,7 @@ func main() {
 		resource  = flag.String("resource", "CPU (host)", "resource name (see -list)")
 		framework = flag.String("framework", "", "restrict resource lookup to CUDA or OpenCL")
 		precision = flag.String("precision", "double", "single or double")
-		threading = flag.String("threading", "none", "CPU threading: none, futures, threadcreate, threadpool")
+		threading = flag.String("threading", "none", "CPU threading: none, futures, threadcreate, threadpool, hybrid")
 		sse       = flag.Bool("sse", false, "use the SSE-style 4-state kernels (CPU resource)")
 		noFMA     = flag.Bool("no-fma", false, "build accelerator kernels without fused multiply-add")
 		workGroup = flag.Int("workgroup", 0, "accelerator work-group size in patterns (0 = default)")
@@ -44,6 +44,7 @@ func main() {
 	if *list {
 		for _, r := range gobeagle.ResourceList() {
 			fmt.Println(r)
+			fmt.Printf("    implementations: %s\n", strings.Join(r.Implementations(), ", "))
 		}
 		return
 	}
@@ -143,6 +144,8 @@ func buildFlags(precision, threading string, sse, noFMA bool) (gobeagle.Flags, e
 		f |= gobeagle.FlagThreadingThreadCreate
 	case "threadpool":
 		f |= gobeagle.FlagThreadingThreadPool
+	case "hybrid", "threadpoolhybrid":
+		f |= gobeagle.FlagThreadingThreadPoolHybrid
 	default:
 		return 0, fmt.Errorf("unknown threading %q", threading)
 	}
@@ -155,14 +158,19 @@ func buildFlags(precision, threading string, sse, noFMA bool) (gobeagle.Flags, e
 	return f, nil
 }
 
-// crossCheck evaluates the problem on every resource and compares against
-// resource 0 with the serial implementation.
+// crossCheck evaluates the problem on every resource, and on every CPU
+// threading strategy of the host resource, comparing everything against the
+// serial CPU reference.
 func crossCheck(p *benchmarks.Problem, flags gobeagle.Flags) error {
+	tol := 1e-8
+	if flags&gobeagle.FlagPrecisionSingle != 0 {
+		tol = 1e-3
+	}
 	var want float64
-	for i, r := range gobeagle.ResourceList() {
-		inst, err := gobeagle.NewInstance(p.InstanceConfig(r.ID, flags))
+	eval := func(resourceID int, f gobeagle.Flags, where string, first bool) error {
+		inst, err := gobeagle.NewInstance(p.InstanceConfig(resourceID, f))
 		if err != nil {
-			return fmt.Errorf("resource %s: %w", r.Name, err)
+			return fmt.Errorf("%s: %w", where, err)
 		}
 		if err := p.Load(inst); err != nil {
 			inst.Finalize()
@@ -183,18 +191,35 @@ func crossCheck(p *benchmarks.Problem, flags gobeagle.Flags) error {
 		if err != nil {
 			return err
 		}
-		tol := 1e-8
-		if flags&gobeagle.FlagPrecisionSingle != 0 {
-			tol = 1e-3
-		}
-		if i == 0 {
+		if first {
 			want = lnL
 		} else if math.Abs(lnL-want) > tol*math.Abs(want) {
 			return fmt.Errorf("%s on %s: lnL %v differs from reference %v",
-				name, r.Name, lnL, want)
+				name, where, lnL, want)
 		}
-		fmt.Printf("  %-45s lnL = %.6f  ok\n",
-			fmt.Sprintf("%s (%s)", name, strings.TrimSpace(r.Framework+" "+r.Name)), lnL)
+		fmt.Printf("  %-45s lnL = %.6f  ok\n", fmt.Sprintf("%s (%s)", name, where), lnL)
+		return nil
+	}
+	for i, r := range gobeagle.ResourceList() {
+		where := strings.TrimSpace(r.Framework + " " + r.Name)
+		if err := eval(r.ID, flags, where, i == 0); err != nil {
+			return err
+		}
+	}
+	// Every CPU threading strategy on the host resource, whatever threading
+	// the command line selected, so the check scripts exercise the futures,
+	// thread-pool and hybrid schedulers on each model configuration.
+	base := flags &^ (gobeagle.FlagThreadingFutures | gobeagle.FlagThreadingThreadCreate |
+		gobeagle.FlagThreadingThreadPool | gobeagle.FlagThreadingThreadPoolHybrid)
+	for _, tf := range []gobeagle.Flags{
+		gobeagle.FlagThreadingFutures,
+		gobeagle.FlagThreadingThreadCreate,
+		gobeagle.FlagThreadingThreadPool,
+		gobeagle.FlagThreadingThreadPoolHybrid,
+	} {
+		if err := eval(0, base|tf, "CPU (host)", false); err != nil {
+			return err
+		}
 	}
 	return nil
 }

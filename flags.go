@@ -22,6 +22,12 @@ const (
 	// FlagThreadingThreadPool uses a persistent worker pool (§VI-C); the
 	// best-performing CPU threading model in the paper.
 	FlagThreadingThreadPool
+	// FlagThreadingThreadPoolHybrid combines operation-level concurrency
+	// with pattern chunking on the persistent pool: every (operation,
+	// pattern-chunk) pair of a dependency level is dispatched as one pool
+	// task, so small-pattern problems with independent operations still
+	// parallelize instead of degrading to serial.
+	FlagThreadingThreadPoolHybrid
 	// FlagDisableFMA builds accelerator kernels without fused multiply–add,
 	// the Table IV ablation.
 	FlagDisableFMA
@@ -34,7 +40,8 @@ const (
 )
 
 // threadingFlags lists the mutually exclusive CPU threading selections.
-const threadingFlags = FlagThreadingFutures | FlagThreadingThreadCreate | FlagThreadingThreadPool
+const threadingFlags = FlagThreadingFutures | FlagThreadingThreadCreate |
+	FlagThreadingThreadPool | FlagThreadingThreadPoolHybrid
 
 // String renders the set flags for diagnostics.
 func (f Flags) String() string {
@@ -50,6 +57,7 @@ func (f Flags) String() string {
 		{FlagThreadingFutures, "THREADING_FUTURES"},
 		{FlagThreadingThreadCreate, "THREADING_THREAD_CREATE"},
 		{FlagThreadingThreadPool, "THREADING_THREAD_POOL"},
+		{FlagThreadingThreadPoolHybrid, "THREADING_THREAD_POOL_HYBRID"},
 		{FlagDisableFMA, "NO_FMA"},
 		{FlagKernelGPU, "KERNEL_GPU"},
 		{FlagKernelX86, "KERNEL_X86"},

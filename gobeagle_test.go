@@ -155,6 +155,7 @@ func TestImplementationSelection(t *testing.T) {
 		{"", "", FlagThreadingFutures, "CPU-futures"},
 		{"", "", FlagThreadingThreadCreate, "CPU-threadcreate"},
 		{"", "", FlagThreadingThreadPool, "CPU-threadpool"},
+		{"", "", FlagThreadingThreadPoolHybrid, "threadpool-hybrid"},
 		{"Quadro P5000", "CUDA", 0, "CUDA"},
 		{"Radeon R9 Nano", "OpenCL", 0, "OpenCL-GPU"},
 		{"Xeon E5-2680v4 x2", "OpenCL", 0, "OpenCL-x86"},

@@ -55,6 +55,8 @@ type Config struct {
 	// ResourceID selects an entry of ResourceList; 0 is the host CPU.
 	ResourceID int
 	// Flags select precision, vectorization, threading and kernel options.
+	// At most one FlagThreading* flag may be set; FlagThreadingThreadPoolHybrid
+	// selects the op×pattern hybrid scheduler on the persistent pool.
 	Flags Flags
 	// Threads bounds CPU worker threads (0 = all hardware threads).
 	Threads int
@@ -123,7 +125,8 @@ func (in *Instance) Resource() *Resource { return in.rsc }
 func (in *Instance) Config() Config { return in.cfg }
 
 // Finalize releases the instance's resources (worker pools, device
-// buffers). The instance must not be used afterwards.
+// buffers). Finalize is idempotent; computation methods called afterwards
+// return an error instead of panicking.
 func (in *Instance) Finalize() error { return in.eng.Close() }
 
 // DeviceQueue returns the command queue of an accelerator-backed instance

@@ -96,9 +96,13 @@ func TestTable3Shape(t *testing.T) {
 		t.Fatalf("row count %d", len(rows))
 	}
 	for _, r := range rows {
-		// Thread-pool is the best strategy at every tree size (§VI-C).
+		// Thread-pool is the best plain strategy at every tree size (§VI-C).
 		if !(r.ThreadPool > r.ThreadCreate && r.ThreadPool > r.Futures && r.ThreadPool > r.Serial) {
 			t.Errorf("tips=%d: thread-pool not best: %+v", r.Tips, r)
+		}
+		// The hybrid scheduler never loses to the plain pool.
+		if r.Hybrid < r.ThreadPool {
+			t.Errorf("tips=%d: hybrid (%v) below thread-pool (%v)", r.Tips, r.Hybrid, r.ThreadPool)
 		}
 		if r.Speedup < 4 || r.Speedup > 25 {
 			t.Errorf("tips=%d: speedup %v outside the paper's band", r.Tips, r.Speedup)
@@ -115,6 +119,46 @@ func TestTable3Shape(t *testing.T) {
 	var buf bytes.Buffer
 	PrintTable3(&buf, rows)
 	if !strings.Contains(buf.String(), "thread-pool") {
+		t.Error("print output malformed")
+	}
+}
+
+func TestTable3HybridShape(t *testing.T) {
+	rows, err := Table3Hybrid(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("row count %d", len(rows))
+	}
+	for _, r := range rows {
+		// The whole point of the hybrid scheduler: at 128–512 patterns with
+		// ≥8 independent operations it must at least match the plain pool,
+		// which degrades to serial below the 512-pattern threshold.
+		if r.MaxLevel < 8 {
+			t.Errorf("tips=%d: widest level %d < 8 independent ops", r.Tips, r.MaxLevel)
+		}
+		if r.Gain < 1 {
+			t.Errorf("tips=%d patterns=%d: hybrid gain %v < 1 over thread-pool",
+				r.Tips, r.Patterns, r.Gain)
+		}
+		if r.Hybrid < r.Serial {
+			t.Errorf("tips=%d patterns=%d: hybrid (%v) below serial (%v)",
+				r.Tips, r.Patterns, r.Hybrid, r.Serial)
+		}
+	}
+	// Below the 512-pattern threshold the plain pool is stuck at serial
+	// speed while the hybrid exploits op-level parallelism, so the gain
+	// must be substantial, not merely ≥1.
+	for _, r := range rows {
+		if r.Patterns < 512 && r.Gain < 2 {
+			t.Errorf("tips=%d patterns=%d: expected a large hybrid gain below the threshold, got %v",
+				r.Tips, r.Patterns, r.Gain)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable3Hybrid(&buf, rows)
+	if !strings.Contains(buf.String(), "hybrid") {
 		t.Error("print output malformed")
 	}
 }

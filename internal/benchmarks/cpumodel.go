@@ -158,6 +158,29 @@ func (m CPUModel) EvalTime(mode cpuimpl.Mode, w int, p *Problem, single bool) ti
 		}
 		per := math.Max(opSec/float64(w), bwSec) + float64(w)*m.PoolDispatchNs*1e-9
 		total = nOps * per
+	case cpuimpl.ThreadPoolHybrid:
+		// Operation- and pattern-level parallelism compose on the shared
+		// pool: each dependency level runs width×chunks tasks, so a level is
+		// bounded by its compute spread over the busy workers, by the DRAM
+		// floor of its concurrent operations, and by per-task dispatch.
+		// Unlike the plain pool there is no whole-problem pattern threshold:
+		// only a lone small operation stays serial.
+		if w == 1 {
+			total = nOps * opSec
+			break
+		}
+		pat := p.Dims.PatternCount
+		for _, width := range p.LevelWidths() {
+			if width == 1 && pat < cpuimpl.DefaultMinPatterns {
+				total += opSec
+				continue
+			}
+			chunks := cpuimpl.HybridChunks(width, pat, w)
+			tasks := float64(width * chunks)
+			busy := math.Min(float64(w), tasks)
+			total += math.Max(float64(width)*opSec/busy, float64(width)*bwSec) +
+				tasks*m.PoolDispatchNs*1e-9
+		}
 	}
 	return time.Duration(total * float64(time.Second))
 }

@@ -41,6 +41,11 @@ func Recommend(tips, stateCount, patterns, categories int, single bool) ([]Recom
 		Setup:    "C++ threads (thread-pool)",
 		GFLOPS:   xeon.ThroughputGF(cpuimpl.ThreadPool, xeon.Desc.Cores, p, single),
 	})
+	out = append(out, Recommendation{
+		Resource: "CPU (host)",
+		Setup:    "C++ threads (hybrid op x pattern)",
+		GFLOPS:   xeon.ThroughputGF(cpuimpl.ThreadPoolHybrid, xeon.Desc.Cores, p, single),
+	})
 	// Every accelerator device, modeled through a dry-run evaluation.
 	for _, spec := range fig4Devices {
 		rsc, err := gobeagle.FindResource(spec.resource, spec.framework)

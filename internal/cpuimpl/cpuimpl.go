@@ -14,10 +14,16 @@
 //     execution stays serial (§VI-B);
 //   - ThreadPool: a persistent worker pool used for both the
 //     partial-likelihoods operations and the root likelihood integration
-//     (§VI-C), the design that won in Table III.
+//     (§VI-C), the design that won in Table III;
+//   - ThreadPoolHybrid: the fusion of the futures and thread-pool designs —
+//     every (operation, pattern-chunk) pair of a dependency level is
+//     dispatched onto the same persistent pool, so wide trees with small
+//     pattern counts (where pure pattern chunking degrades to serial) still
+//     saturate the workers through operation-level concurrency.
 package cpuimpl
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -38,6 +44,7 @@ const (
 	Futures
 	ThreadCreate
 	ThreadPool
+	ThreadPoolHybrid
 )
 
 // String returns the implementation name used in resource listings.
@@ -53,6 +60,8 @@ func (m Mode) String() string {
 		return "CPU-threadcreate"
 	case ThreadPool:
 		return "CPU-threadpool"
+	case ThreadPoolHybrid:
+		return "CPU-threadpool-hybrid"
 	default:
 		return fmt.Sprintf("CPU-unknown(%d)", int(m))
 	}
@@ -63,6 +72,15 @@ func (m Mode) String() string {
 // serial (the paper uses 512).
 const DefaultMinPatterns = 512
 
+// HybridMinChunk is the smallest pattern span the hybrid scheduler will cut
+// an operation into. Unlike DefaultMinPatterns it bounds the chunk, not the
+// whole problem: a 128-pattern level of 8 independent operations still
+// yields 16 concurrent tasks instead of degrading to serial execution.
+const HybridMinChunk = 64
+
+// ErrClosed is returned by computation methods invoked after Close.
+var ErrClosed = errors.New("cpuimpl: engine is closed")
+
 // New creates a CPU engine with the given mode, instantiated for the
 // precision requested in the configuration.
 func New(cfg engine.Config, mode Mode) (engine.Engine, error) {
@@ -70,7 +88,7 @@ func New(cfg engine.Config, mode Mode) (engine.Engine, error) {
 		return nil, err
 	}
 	switch mode {
-	case Serial, SSE, Futures, ThreadCreate, ThreadPool:
+	case Serial, SSE, Futures, ThreadCreate, ThreadPool, ThreadPoolHybrid:
 	default:
 		return nil, fmt.Errorf("cpuimpl: unknown mode %d", int(mode))
 	}
@@ -87,6 +105,7 @@ type Engine[T kernels.Real] struct {
 	threads     int
 	minPatterns int
 	pool        *workerPool
+	closed      bool
 }
 
 func newEngine[T kernels.Real](cfg engine.Config, mode Mode) *Engine[T] {
@@ -104,7 +123,7 @@ func newEngine[T kernels.Real](cfg engine.Config, mode Mode) *Engine[T] {
 		threads:     threads,
 		minPatterns: minPat,
 	}
-	if mode == ThreadPool {
+	if mode == ThreadPool || mode == ThreadPoolHybrid {
 		e.pool = newWorkerPool(threads)
 	}
 	return e
@@ -113,8 +132,14 @@ func newEngine[T kernels.Real](cfg engine.Config, mode Mode) *Engine[T] {
 // Name identifies the implementation.
 func (e *Engine[T]) Name() string { return e.mode.String() }
 
-// Close shuts down the worker pool, if any.
+// Close shuts down the worker pool, if any. Close is idempotent; computation
+// methods called after Close return ErrClosed instead of panicking on the
+// torn-down pool.
 func (e *Engine[T]) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
 	if e.pool != nil {
 		e.pool.close()
 		e.pool = nil
@@ -209,6 +234,9 @@ func (e *Engine[T]) validateOps(ops []engine.Operation) error {
 
 // UpdatePartials executes the operation list with the engine's strategy.
 func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
+	if e.closed {
+		return ErrClosed
+	}
 	// Allocate destinations in order first so later validation of children
 	// that are earlier destinations succeeds.
 	for _, op := range ops {
@@ -241,6 +269,8 @@ func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
 				return err
 			}
 		}
+	case ThreadPoolHybrid:
+		return e.runHybrid(ops)
 	}
 	return nil
 }
@@ -335,20 +365,136 @@ func (e *Engine[T]) runThreadPool(op engine.Operation) error {
 	return nil
 }
 
-// opLevels groups operations into dependency levels by destination buffer,
-// so that each level's operations are mutually independent.
+// runHybrid executes operations level by level like runFutures, but instead
+// of one task per operation it dispatches every (operation, pattern-chunk)
+// pair of a level onto the persistent worker pool. The chunk count adapts to
+// the level width: wide levels run one chunk per operation (pure op-level
+// concurrency), narrow levels split patterns until the pool is saturated,
+// and no chunk is cut below HybridMinChunk patterns — so small-pattern
+// problems with independent operations no longer fall back to serial.
+func (e *Engine[T]) runHybrid(ops []engine.Operation) error {
+	p := e.Cfg.Dims.PatternCount
+	if e.threads < 2 {
+		for _, op := range ops {
+			if err := e.runOp(op, 0, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, level := range opLevels(ops) {
+		if err := e.runHybridLevel(level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HybridChunks returns how many pattern chunks each operation of a level is
+// split into: enough tasks to cover the worker count, bounded so that no
+// chunk spans fewer than HybridMinChunk patterns (and always at least one).
+// Exported so the analytic CPU performance model shares the exact policy.
+func HybridChunks(levelWidth, patterns, threads int) int {
+	chunks := (threads + levelWidth - 1) / levelWidth
+	if maxChunks := (patterns + HybridMinChunk - 1) / HybridMinChunk; chunks > maxChunks {
+		chunks = maxChunks
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	return chunks
+}
+
+// runHybridLevel dispatches one dependency level's (operation, chunk) tasks
+// and waits for the barrier at the end of the level.
+func (e *Engine[T]) runHybridLevel(level []engine.Operation) error {
+	p := e.Cfg.Dims.PatternCount
+	if len(level) == 1 && p < e.minPatterns {
+		// A single small operation gains nothing from chunking; stay serial,
+		// exactly as the plain thread-pool strategy does.
+		return e.runOp(level[0], 0, p)
+	}
+	chunks := HybridChunks(len(level), p, e.threads)
+	errs := make([]error, len(level)*chunks)
+	var wg sync.WaitGroup
+	for i, op := range level {
+		for c := 0; c < chunks; c++ {
+			lo := c * p / chunks
+			hi := (c + 1) * p / chunks
+			if lo == hi {
+				continue
+			}
+			slot := i*chunks + c
+			wg.Add(1)
+			e.pool.submit(func() {
+				defer wg.Done()
+				errs[slot] = e.runOp(op, lo, hi)
+			})
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// opLevels groups operations into dependency levels so that all operations
+// within a level can run concurrently without data races. An operation is
+// pushed to a later level by any hazard on the buffers it touches:
+//
+//   - read-after-write: a child buffer is the destination of an earlier
+//     operation (the tree-topology dependency);
+//   - write-after-write: two operations share a Dest, or rescale into the
+//     same DestScaleWrite buffer;
+//   - write-after-read: the destination overwrites a buffer an earlier
+//     operation still reads as a child (serial semantics let the earlier
+//     operation see the old contents).
+//
+// Partials and scale buffers are distinct index spaces and are tracked
+// separately. This is the single dependency analyzer used by both the
+// Futures and the ThreadPoolHybrid strategies.
 func opLevels(ops []engine.Operation) [][]engine.Operation {
-	level := make(map[int]int)
+	partialsWriter := make(map[int]int) // partials buffer -> level of last writer
+	partialsReader := make(map[int]int) // partials buffer -> highest reading level
+	scaleWriter := make(map[int]int)    // scale buffer -> level of last writer
+	scaleReader := make(map[int]int)    // scale buffer -> highest reading level
+	after := func(l int, m map[int]int, buf int) int {
+		if dl, ok := m[buf]; ok && dl+1 > l {
+			return dl + 1
+		}
+		return l
+	}
+	markRead := func(m map[int]int, buf, l int) {
+		if rl, ok := m[buf]; !ok || l > rl {
+			m[buf] = l
+		}
+	}
 	var out [][]engine.Operation
 	for _, op := range ops {
 		l := 0
-		if dl, ok := level[op.Child1]; ok && dl+1 > l {
-			l = dl + 1
+		l = after(l, partialsWriter, op.Child1) // RAW
+		l = after(l, partialsWriter, op.Child2) // RAW
+		l = after(l, partialsWriter, op.Dest)   // WAW
+		l = after(l, partialsReader, op.Dest)   // WAR
+		if op.DestScaleWrite != engine.None {
+			l = after(l, scaleWriter, op.DestScaleWrite) // WAW (scale)
+			l = after(l, scaleReader, op.DestScaleWrite) // WAR (scale)
 		}
-		if dl, ok := level[op.Child2]; ok && dl+1 > l {
-			l = dl + 1
+		if op.DestScaleRead != engine.None {
+			l = after(l, scaleWriter, op.DestScaleRead) // RAW (scale)
 		}
-		level[op.Dest] = l
+		partialsWriter[op.Dest] = l
+		markRead(partialsReader, op.Child1, l)
+		markRead(partialsReader, op.Child2, l)
+		if op.DestScaleWrite != engine.None {
+			scaleWriter[op.DestScaleWrite] = l
+		}
+		if op.DestScaleRead != engine.None {
+			markRead(scaleReader, op.DestScaleRead, l)
+		}
 		for len(out) <= l {
 			out = append(out, nil)
 		}
@@ -376,8 +522,9 @@ func (e *Engine[T]) SiteLogLikelihoods(rootBuf, cumScaleBuf int) ([]float64, err
 }
 
 // CalculateRootLogLikelihoods integrates the root partials into the total
-// log likelihood. In ThreadPool mode the per-pattern site likelihoods are
-// computed on the worker pool, as §VI-C describes.
+// log likelihood. In the pool-backed modes (ThreadPool, ThreadPoolHybrid)
+// the per-pattern site likelihoods are computed on the worker pool, as
+// §VI-C describes.
 func (e *Engine[T]) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float64, error) {
 	site, scale, err := e.siteLikelihoods(rootBuf, cumScaleBuf)
 	if err != nil {
@@ -387,6 +534,9 @@ func (e *Engine[T]) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float
 }
 
 func (e *Engine[T]) siteLikelihoods(rootBuf, cumScaleBuf int) (site, scale []float64, err error) {
+	if e.closed {
+		return nil, nil, ErrClosed
+	}
 	kind, _, root, err := e.ChildOperand(rootBuf)
 	if err != nil {
 		return nil, nil, err
@@ -400,7 +550,7 @@ func (e *Engine[T]) siteLikelihoods(rootBuf, cumScaleBuf int) (site, scale []flo
 	}
 	d := e.Cfg.Dims
 	site = make([]float64, d.PatternCount)
-	if e.mode == ThreadPool && d.PatternCount >= e.minPatterns && e.threads > 1 {
+	if (e.mode == ThreadPool || e.mode == ThreadPoolHybrid) && d.PatternCount >= e.minPatterns && e.threads > 1 {
 		n := e.threads
 		var wg sync.WaitGroup
 		for w := 0; w < n; w++ {
@@ -425,6 +575,9 @@ func (e *Engine[T]) siteLikelihoods(rootBuf, cumScaleBuf int) (site, scale []flo
 // CalculateEdgeLogLikelihoods integrates across a single branch between the
 // parent-side and child-side partials buffers.
 func (e *Engine[T]) CalculateEdgeLogLikelihoods(parentBuf, childBuf, matrix, cumScaleBuf int) (float64, error) {
+	if e.closed {
+		return 0, ErrClosed
+	}
 	pk, _, parent, err := e.ChildOperand(parentBuf)
 	if err != nil {
 		return 0, err
@@ -454,6 +607,9 @@ func (e *Engine[T]) CalculateEdgeLogLikelihoods(parentBuf, childBuf, matrix, cum
 // the branch length. matrix, d1Matrix (and d2Matrix unless None) must have
 // been computed by UpdateTransitionMatrices / UpdateTransitionDerivatives.
 func (e *Engine[T]) CalculateEdgeDerivatives(parentBuf, childBuf, matrix, d1Matrix, d2Matrix, cumScaleBuf int) (float64, float64, float64, error) {
+	if e.closed {
+		return 0, 0, 0, ErrClosed
+	}
 	pk, _, parent, err := e.ChildOperand(parentBuf)
 	if err != nil {
 		return 0, 0, 0, err
@@ -505,7 +661,7 @@ func (e *Engine[T]) CalculateEdgeDerivatives(parentBuf, childBuf, matrix, d1Matr
 
 // Modes returns all CPU modes in presentation order.
 func Modes() []Mode {
-	m := []Mode{Serial, SSE, Futures, ThreadCreate, ThreadPool}
+	m := []Mode{Serial, SSE, Futures, ThreadCreate, ThreadPool, ThreadPoolHybrid}
 	sort.Slice(m, func(i, j int) bool { return m[i] < m[j] })
 	return m
 }

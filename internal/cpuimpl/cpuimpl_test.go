@@ -523,11 +523,12 @@ func TestSetTransitionMatrixRoundTrip(t *testing.T) {
 
 func TestModeString(t *testing.T) {
 	names := map[Mode]string{
-		Serial:       "CPU-serial",
-		SSE:          "CPU-SSE",
-		Futures:      "CPU-futures",
-		ThreadCreate: "CPU-threadcreate",
-		ThreadPool:   "CPU-threadpool",
+		Serial:           "CPU-serial",
+		SSE:              "CPU-SSE",
+		Futures:          "CPU-futures",
+		ThreadCreate:     "CPU-threadcreate",
+		ThreadPool:       "CPU-threadpool",
+		ThreadPoolHybrid: "CPU-threadpool-hybrid",
 	}
 	for m, want := range names {
 		if m.String() != want {

@@ -114,6 +114,7 @@ func TestMultiMatchesSingleEngine(t *testing.T) {
 	for _, backends := range [][]Builder{
 		{cpuBuilder(cpuimpl.Serial), cpuBuilder(cpuimpl.Serial)},
 		{cpuBuilder(cpuimpl.Serial), cpuBuilder(cpuimpl.SSE), cpuBuilder(cpuimpl.ThreadPool)},
+		{cpuBuilder(cpuimpl.ThreadPoolHybrid), cpuBuilder(cpuimpl.Futures)},
 	} {
 		multi, err := New(multiConfig(tr, ps.PatternCount()), backends, nil)
 		if err != nil {

@@ -65,6 +65,8 @@ func buildEngine(cfg engine.Config, rsc *Resource, flags Flags) (engine.Engine, 
 // cpuMode maps flags to the CPU execution strategy.
 func cpuMode(flags Flags) cpuimpl.Mode {
 	switch {
+	case flags&FlagThreadingThreadPoolHybrid != 0:
+		return cpuimpl.ThreadPoolHybrid
 	case flags&FlagThreadingThreadPool != 0:
 		return cpuimpl.ThreadPool
 	case flags&FlagThreadingThreadCreate != 0:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"gobeagle/internal/cpuimpl"
 	"gobeagle/internal/device"
 )
 
@@ -50,6 +51,29 @@ type Resource struct {
 // Device exposes the underlying simulated device, or nil for the host CPU
 // resource; benchmark harnesses use it to read the modeled device clock.
 func (r *Resource) Device() *device.Device { return r.dev }
+
+// Implementations lists the implementation names selectable on this
+// resource: every CPU execution strategy for the host resource (including
+// the hybrid op×pattern scheduler), or the kernel variants a device's
+// framework and kind admit.
+func (r *Resource) Implementations() []string {
+	if r.dev == nil {
+		modes := cpuimpl.Modes()
+		out := make([]string, len(modes))
+		for i, m := range modes {
+			out[i] = m.String()
+		}
+		return out
+	}
+	switch {
+	case r.dev.Framework == device.CUDA:
+		return []string{"CUDA"}
+	case r.dev.Desc.Kind == device.KindGPU:
+		return []string{"OpenCL-GPU"}
+	default:
+		return []string{"OpenCL-x86", "OpenCL-GPU"}
+	}
+}
 
 // String renders the resource for listings.
 func (r *Resource) String() string {

@@ -7,6 +7,12 @@
 set -e
 cd "$(dirname "$0")/.."
 
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race -short ./..."
+go test -race -short ./...
+
 run() {
     echo "== genomictest -check $*"
     go run ./cmd/genomictest -check "$@"
