@@ -5,9 +5,13 @@
 // performance models documented in DESIGN.md, since neither the paper's
 // GPUs nor its 56-thread Xeon host are available to the build machine.
 //
+// With -json DIR each experiment also writes a machine-readable
+// BENCH_<experiment>.json report (effective GFLOPS per device, strategy and
+// problem shape) for the CI benchmark artifacts.
+//
 // Usage:
 //
-//	beaglebench -experiment table3|table3hybrid|table4|table5|fig4|fig5|fig6|all
+//	beaglebench -experiment table3|table3hybrid|table4|table5|fig4|fig4smoke|fig5|fig6|all [-json DIR]
 package main
 
 import (
@@ -21,18 +25,22 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table3, table3hybrid, table4, table5, fig4, fig5, fig6, or all")
+	experiment := flag.String("experiment", "all", "table3, table3hybrid, table4, table5, fig4, fig4smoke, fig5, fig6, or all")
+	jsonDir := flag.String("json", "", "directory to also write machine-readable BENCH_<experiment>.json reports")
 	flag.Parse()
 
-	runners := map[string]func(io.Writer) error{
+	runners := map[string]func(io.Writer) (benchmarks.Report, error){
 		"table3":       runTable3,
 		"table3hybrid": runTable3Hybrid,
 		"table4":       runTable4,
 		"table5":       runTable5,
 		"fig4":         runFig4,
+		"fig4smoke":    runFig4Smoke,
 		"fig5":         runFig5,
 		"fig6":         runFig6,
 	}
+	// fig4smoke is a reduced sweep for CI smoke runs; "all" keeps the paper's
+	// full experiment set.
 	order := []string{"table3", "table3hybrid", "table4", "table5", "fig4", "fig5", "fig6"}
 
 	selected := []string{}
@@ -45,75 +53,102 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "beaglebench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	for _, name := range selected {
 		start := time.Now()
-		if err := runners[name](os.Stdout); err != nil {
+		rep, err := runners[name](os.Stdout)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "beaglebench: %s: %v\n", name, err)
 			os.Exit(1)
+		}
+		if *jsonDir != "" {
+			path, err := benchmarks.WriteReport(*jsonDir, rep)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "beaglebench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("[wrote %s]\n", path)
 		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 }
 
-func runTable3(w io.Writer) error {
+func runTable3(w io.Writer) (benchmarks.Report, error) {
 	rows, err := benchmarks.Table3(600)
 	if err != nil {
-		return err
+		return benchmarks.Report{}, err
 	}
 	benchmarks.PrintTable3(w, rows)
-	return nil
+	return benchmarks.Table3Report(rows), nil
 }
 
-func runTable3Hybrid(w io.Writer) error {
+func runTable3Hybrid(w io.Writer) (benchmarks.Report, error) {
 	rows, err := benchmarks.Table3Hybrid(true)
 	if err != nil {
-		return err
+		return benchmarks.Report{}, err
 	}
 	benchmarks.PrintTable3Hybrid(w, rows)
-	return nil
+	return benchmarks.Table3HybridReport(rows), nil
 }
 
-func runTable4(w io.Writer) error {
+func runTable4(w io.Writer) (benchmarks.Report, error) {
 	rows, err := benchmarks.Table4()
 	if err != nil {
-		return err
+		return benchmarks.Report{}, err
 	}
 	benchmarks.PrintTable4(w, rows)
-	return nil
+	return benchmarks.Table4Report(rows), nil
 }
 
-func runTable5(w io.Writer) error {
+func runTable5(w io.Writer) (benchmarks.Report, error) {
 	rows, err := benchmarks.Table5()
 	if err != nil {
-		return err
+		return benchmarks.Report{}, err
 	}
 	benchmarks.PrintTable5(w, rows)
-	return nil
+	return benchmarks.Table5Report(rows), nil
 }
 
-func runFig4(w io.Writer) error {
+func runFig4(w io.Writer) (benchmarks.Report, error) {
 	panels, err := benchmarks.Fig4()
 	if err != nil {
-		return err
+		return benchmarks.Report{}, err
 	}
 	benchmarks.PrintFig4(w, panels)
-	return nil
+	return benchmarks.Fig4Report("fig4", panels), nil
 }
 
-func runFig5(w io.Writer) error {
+// runFig4Smoke runs the Fig. 4 sweep at a handful of pattern counts so CI can
+// produce a BENCH JSON artifact in seconds rather than minutes.
+func runFig4Smoke(w io.Writer) (benchmarks.Report, error) {
+	panels, err := benchmarks.Fig4With([]int{100, 1000, 10000}, []int{100, 1000})
+	if err != nil {
+		return benchmarks.Report{}, err
+	}
+	benchmarks.PrintFig4(w, panels)
+	return benchmarks.Fig4Report("fig4smoke", panels), nil
+}
+
+func runFig5(w io.Writer) (benchmarks.Report, error) {
 	points, err := benchmarks.Fig5()
 	if err != nil {
-		return err
+		return benchmarks.Report{}, err
 	}
 	benchmarks.PrintFig5(w, points)
-	return nil
+	return benchmarks.Fig5Report(points), nil
 }
 
-func runFig6(w io.Writer) error {
+func runFig6(w io.Writer) (benchmarks.Report, error) {
 	rows, err := benchmarks.Fig6()
 	if err != nil {
-		return err
+		return benchmarks.Report{}, err
 	}
 	benchmarks.PrintFig6(w, rows)
-	return nil
+	return benchmarks.Fig6Report(rows), nil
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"gobeagle"
 	"gobeagle/internal/mcmc"
@@ -38,6 +39,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		resource  = flag.String("resource", "CPU (host)", "compute resource name")
 		framework = flag.String("framework", "", "restrict resource lookup to CUDA or OpenCL")
+		stats     = flag.Bool("stats", false, "enable telemetry and print per-chain kernel op counts and timings")
 	)
 	flag.Parse()
 	if *seqsPath == "" {
@@ -79,15 +81,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	flags := gobeagle.FlagThreadingThreadPool
+	if *stats {
+		flags |= gobeagle.FlagTelemetry
+	}
 	engines := make([]mcmc.LikelihoodEngine, *chains)
+	beagles := make([]*mcmc.BeagleEngine, *chains)
 	for i := range engines {
-		eng, err := mcmc.NewBeagleEngine(model, rates, ps, start, rsc.ID,
-			gobeagle.FlagThreadingThreadPool)
+		eng, err := mcmc.NewBeagleEngine(model, rates, ps, start, rsc.ID, flags)
 		if err != nil {
 			fatal(err)
 		}
 		defer eng.Close()
 		engines[i] = eng
+		beagles[i] = eng
 	}
 	fmt.Printf("model: %s, %d rate categories; %d chains on %s\n",
 		model.Name, len(rates.Rates), *chains, *resource)
@@ -136,6 +143,34 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("majority-rule consensus tree:\n%s\n", consensus)
+
+	if *stats {
+		printStats(beagles)
+	}
+}
+
+// printStats summarizes the telemetry of every chain's instance: per-chain
+// batch counts and effective GFLOPS, and the partials kernel totals summed
+// across chains (the MCMC run's dominant cost).
+func printStats(beagles []*mcmc.BeagleEngine) {
+	var totalOps, totalCalls uint64
+	var totalTime time.Duration
+	for i, b := range beagles {
+		s := b.Instance().Stats()
+		fmt.Printf("telemetry chain %d: %s (%s), %d batches, %.2f GFLOPS effective\n",
+			i, s.Implementation, s.Strategy, s.Batches, s.EffectiveGFLOPS)
+		for _, k := range s.Kernels {
+			fmt.Printf("  %-12s %8d ops %6d calls  total %v  mean/op %v\n",
+				k.Kernel, k.Ops, k.Calls, k.Total.Round(time.Microsecond),
+				k.MeanPerOp().Round(time.Nanosecond))
+		}
+		p := s.Kernel("partials")
+		totalOps += p.Ops
+		totalCalls += p.Calls
+		totalTime += p.Total
+	}
+	fmt.Printf("telemetry all chains: partials %d ops in %d calls, %v total\n",
+		totalOps, totalCalls, totalTime.Round(time.Microsecond))
 }
 
 func readAlignment(path string) (*seqgen.Alignment, error) {

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"gobeagle"
 	"gobeagle/internal/mcmc"
@@ -39,6 +40,7 @@ func main() {
 		framework = flag.String("framework", "", "restrict resource lookup to CUDA or OpenCL")
 		threading = flag.String("threading", "threadpool", "CPU threading: none, futures, threadcreate, threadpool, hybrid")
 		optimize  = flag.Bool("optimize", false, "optimize branch lengths by maximum likelihood")
+		stats     = flag.Bool("stats", false, "enable telemetry and print per-kernel op counts and timings")
 	)
 	flag.Parse()
 	if *seqsPath == "" || *treePath == "" {
@@ -96,6 +98,9 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown threading %q", *threading))
 	}
+	if *stats {
+		flags |= gobeagle.FlagTelemetry
+	}
 	eng, err := mcmc.NewBeagleEngine(model, rates, ps, tr, rsc.ID, flags)
 	if err != nil {
 		fatal(err)
@@ -118,6 +123,22 @@ func main() {
 		}
 		fmt.Printf("optimized log likelihood: %.6f (%d sweeps)\n", opt, sweeps)
 		fmt.Printf("optimized tree:\n%s\n", tr.Newick())
+	}
+
+	if *stats {
+		printStats(eng.Instance().Stats())
+	}
+}
+
+// printStats renders the telemetry snapshot accumulated across every
+// likelihood evaluation of the run.
+func printStats(s gobeagle.Stats) {
+	fmt.Printf("telemetry: %s (%s), %d batches, %.2f GFLOPS effective\n",
+		s.Implementation, s.Strategy, s.Batches, s.EffectiveGFLOPS)
+	for _, k := range s.Kernels {
+		fmt.Printf("  %-12s %8d ops %6d calls  total %v  mean/op %v\n",
+			k.Kernel, k.Ops, k.Calls, k.Total.Round(time.Microsecond),
+			k.MeanPerOp().Round(time.Nanosecond))
 	}
 }
 

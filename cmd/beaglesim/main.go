@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"gobeagle/internal/seqgen"
 	"gobeagle/internal/substmodel"
@@ -34,6 +35,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		outPath   = flag.String("out", "", "output file (default stdout)")
 		phylip    = flag.Bool("phylip", false, "write PHYLIP instead of FASTA")
+		stats     = flag.Bool("stats", false, "print simulation timing and throughput")
 	)
 	flag.Parse()
 	if *treePath == "" {
@@ -79,7 +81,9 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
+	simStart := time.Now()
 	align, err := seqgen.Simulate(rng, tr, model, rates, *sites)
+	simElapsed := time.Since(simStart)
 	if err != nil {
 		fatal(err)
 	}
@@ -103,6 +107,12 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "beaglesim: %d taxa x %d sites under %s (%d rate categories)\n",
 		tr.TipCount, *sites, model.Name, len(rates.Rates))
+	if *stats {
+		cells := float64(tr.TipCount) * float64(*sites)
+		fmt.Fprintf(os.Stderr, "beaglesim: simulated in %v (%.0f sites/s, %.0f tip-sites/s)\n",
+			simElapsed.Round(time.Microsecond),
+			float64(*sites)/simElapsed.Seconds(), cells/simElapsed.Seconds())
+	}
 }
 
 func fatal(err error) {

@@ -38,6 +38,7 @@ func main() {
 		noFMA     = flag.Bool("no-fma", false, "build accelerator kernels without fused multiply-add")
 		workGroup = flag.Int("workgroup", 0, "accelerator work-group size in patterns (0 = default)")
 		threads   = flag.Int("threads", 0, "CPU worker threads (0 = all)")
+		stats     = flag.Bool("stats", false, "enable telemetry and print per-kernel op counts and timings")
 	)
 	flag.Parse()
 
@@ -65,6 +66,9 @@ func main() {
 	flags, err := buildFlags(*precision, *threading, *sse, *noFMA)
 	if err != nil {
 		fatal(err)
+	}
+	if *stats {
+		flags |= gobeagle.FlagTelemetry
 	}
 	p, err := benchmarks.NewProblem(*seed, *taxa, *states, *patterns, *cats)
 	if err != nil {
@@ -124,6 +128,37 @@ func main() {
 	if q := inst.DeviceQueue(); q != nil {
 		fmt.Printf("device: %d kernel launches, %d bytes transferred, modeled device time %v\n",
 			q.Launches(), q.BytesTransferred(), q.ModeledTime())
+	}
+	if *stats {
+		printStats(inst.Stats())
+	}
+}
+
+// printStats renders the telemetry snapshot: per-kernel op counts and
+// timings, cumulative effective GFLOPS, and the most recent scheduler
+// dependency-level traces for the leveled strategies.
+func printStats(s gobeagle.Stats) {
+	fmt.Printf("telemetry: %s (%s), %d batches, %.3g effective flops, %.2f GFLOPS cumulative\n",
+		s.Implementation, s.Strategy, s.Batches, s.TotalFlops, s.EffectiveGFLOPS)
+	fmt.Printf("  %-12s %10s %8s %12s %12s %12s %12s\n",
+		"kernel", "ops", "calls", "total", "mean/op", "min", "max")
+	for _, k := range s.Kernels {
+		fmt.Printf("  %-12s %10d %8d %12v %12v %12v %12v\n",
+			k.Kernel, k.Ops, k.Calls, k.Total.Round(time.Microsecond),
+			k.MeanPerOp().Round(time.Nanosecond), k.Min.Round(time.Nanosecond),
+			k.Max.Round(time.Nanosecond))
+	}
+	if n := len(s.Levels); n > 0 {
+		show := s.Levels
+		const maxShown = 8
+		if n > maxShown {
+			show = show[n-maxShown:]
+		}
+		fmt.Printf("  last %d scheduler levels (of %d retained):\n", len(show), n)
+		for _, l := range show {
+			fmt.Printf("    batch %d level %d: %d ops as %d tasks in %v\n",
+				l.Batch, l.Level, l.Ops, l.Tasks, l.Wall.Round(time.Microsecond))
+		}
 	}
 }
 

@@ -37,6 +37,11 @@ const (
 	// FlagKernelX86 forces the loop-over-states x86 kernels on a GPU
 	// device; chiefly for experimentation.
 	FlagKernelX86
+	// FlagTelemetry enables the observability layer at creation: per-kernel
+	// operation counters and duration histograms, effective-GFLOPS
+	// accounting, and scheduler level traces, read through Instance.Stats.
+	// Collection can also be toggled later with Instance.EnableTelemetry.
+	FlagTelemetry
 )
 
 // threadingFlags lists the mutually exclusive CPU threading selections.
@@ -61,6 +66,7 @@ func (f Flags) String() string {
 		{FlagDisableFMA, "NO_FMA"},
 		{FlagKernelGPU, "KERNEL_GPU"},
 		{FlagKernelX86, "KERNEL_X86"},
+		{FlagTelemetry, "TELEMETRY"},
 	}
 	var out []string
 	for _, n := range names {

@@ -7,6 +7,7 @@ import (
 	"gobeagle/internal/device"
 	"gobeagle/internal/engine"
 	"gobeagle/internal/kernels"
+	"gobeagle/internal/telemetry"
 )
 
 // None marks an unused index argument (no rescaling, for example), matching
@@ -75,6 +76,7 @@ type Instance struct {
 	cfg Config
 	eng engine.Engine
 	rsc *Resource
+	tel *telemetry.Collector
 }
 
 // NewInstance creates an instance on the selected resource. The
@@ -107,11 +109,18 @@ func NewInstance(cfg Config) (*Instance, error) {
 		WorkGroupSize:   cfg.WorkGroupSize,
 		DisableFMA:      cfg.Flags&FlagDisableFMA != 0,
 	}
+	tel := newInstanceCollector(cfg.Flags)
+	ecfg.Telemetry = tel
 	eng, err := buildEngine(ecfg, rsc, cfg.Flags)
 	if err != nil {
 		return nil, err
 	}
-	return &Instance{cfg: cfg, eng: eng, rsc: rsc}, nil
+	strategy := strategyName(cfg.Flags)
+	if rsc.Device() != nil {
+		strategy = "device"
+	}
+	tel.SetLabels(eng.Name(), strategy)
+	return &Instance{cfg: cfg, eng: eng, rsc: rsc, tel: tel}, nil
 }
 
 // Implementation returns the name of the selected implementation, e.g.

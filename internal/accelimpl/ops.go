@@ -3,11 +3,13 @@ package accelimpl
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"gobeagle/internal/device"
 	"gobeagle/internal/engine"
 	"gobeagle/internal/flops"
 	"gobeagle/internal/kernels"
+	"gobeagle/internal/telemetry"
 )
 
 // SetTipStates uploads compact states for a tip buffer.
@@ -231,6 +233,10 @@ func (e *Engine[T]) UpdateTransitionMatrices(eigenSlot int, matrices []int, edge
 		Efficiency: e.efficiency,
 		GroupSize:  s,
 	}
+	var start time.Time
+	if e.cfg.Telemetry.Enabled() {
+		start = time.Now()
+	}
 	for i, m := range matrices {
 		out := e.matrices[m].Data()
 		length := edgeLengths[i]
@@ -244,6 +250,9 @@ func (e *Engine[T]) UpdateTransitionMatrices(eigenSlot int, matrices []int, edge
 			return err
 		}
 		e.matSet[m] = true
+	}
+	if !start.IsZero() {
+		e.cfg.Telemetry.Record(telemetry.KernelMatrices, len(matrices), time.Since(start))
 	}
 	return nil
 }
@@ -319,6 +328,12 @@ func (e *Engine[T]) opCost() device.Cost {
 // UpdatePartials executes the operation list; each operation is one kernel
 // launch (plus a rescale launch when requested).
 func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
+	// Telemetry fast path: one atomic load when disabled, no timestamps taken.
+	var start time.Time
+	if e.cfg.Telemetry.Enabled() {
+		e.cfg.Telemetry.NextBatch()
+		start = time.Now()
+	}
 	for _, op := range ops {
 		dest, err := e.ensurePartials(op.Dest)
 		if err != nil {
@@ -360,6 +375,10 @@ func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
 				return err
 			}
 		}
+	}
+	if !start.IsZero() {
+		e.cfg.Telemetry.Record(telemetry.KernelPartials, len(ops), time.Since(start))
+		e.cfg.Telemetry.AddFlops(flops.PartialsOp(e.cfg.Dims) * float64(len(ops)))
 	}
 	return nil
 }
@@ -444,6 +463,10 @@ func (e *Engine[T]) launchRescale(dest []T, scaleBuf int) error {
 	if err != nil {
 		return err
 	}
+	var start time.Time
+	if e.cfg.Telemetry.Enabled() {
+		start = time.Now()
+	}
 	d := e.cfg.Dims
 	scale := sb.Data()
 	elem := float64(e.elemSize())
@@ -453,12 +476,16 @@ func (e *Engine[T]) launchRescale(dest []T, scaleBuf int) error {
 		Efficiency: e.efficiency,
 		GroupSize:  e.groupPats,
 	}
-	return e.q.LaunchKernel(device.Launch{Global: d.PatternCount, Local: e.groupPats}, cost, func(p int) {
+	err = e.q.LaunchKernel(device.Launch{Global: d.PatternCount, Local: e.groupPats}, cost, func(p int) {
 		if p >= d.PatternCount {
 			return
 		}
 		kernels.RescalePartials(dest, scale, d, p, p+1)
 	})
+	if err == nil && !start.IsZero() {
+		e.cfg.Telemetry.Record(telemetry.KernelRescale, 1, time.Since(start))
+	}
+	return err
 }
 
 // ResetScaleFactors zeroes a scale buffer on the device.
@@ -556,11 +583,19 @@ func (e *Engine[T]) siteLikelihoods(rootBuf, cumScaleBuf int) (site, scale []flo
 // CalculateRootLogLikelihoods integrates the root partials into the total
 // log likelihood.
 func (e *Engine[T]) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float64, error) {
+	var start time.Time
+	if e.cfg.Telemetry.Enabled() {
+		start = time.Now()
+	}
 	site, scale, err := e.siteLikelihoods(rootBuf, cumScaleBuf)
 	if err != nil {
 		return 0, err
 	}
-	return kernels.RootLogLikelihood(site, e.patWts, scale, 0, len(site)), nil
+	lnL := kernels.RootLogLikelihood(site, e.patWts, scale, 0, len(site))
+	if !start.IsZero() {
+		e.cfg.Telemetry.Record(telemetry.KernelRoot, 1, time.Since(start))
+	}
+	return lnL, nil
 }
 
 // SiteLogLikelihoods returns per-pattern root log likelihoods.
@@ -611,6 +646,10 @@ func (e *Engine[T]) UpdateTransitionDerivatives(eigenSlot int, d1Matrices, d2Mat
 			return fmt.Errorf("accelimpl: negative edge length %v", edgeLengths[i])
 		}
 	}
+	var start time.Time
+	if e.cfg.Telemetry.Enabled() {
+		start = time.Now()
+	}
 	n := e.cfg.Dims.MatrixLen()
 	host1 := make([]T, n)
 	var host2 []T
@@ -629,6 +668,9 @@ func (e *Engine[T]) UpdateTransitionDerivatives(eigenSlot int, d1Matrices, d2Mat
 			}
 			e.matSet[d2Matrices[i]] = true
 		}
+	}
+	if !start.IsZero() {
+		e.cfg.Telemetry.Record(telemetry.KernelDerivatives, len(d1Matrices), time.Since(start))
 	}
 	return nil
 }
@@ -684,6 +726,10 @@ func (e *Engine[T]) CalculateEdgeDerivatives(parentBuf, childBuf, matrix, d1Matr
 	if m2 != nil {
 		siteD2 = make([]float64, d.PatternCount)
 	}
+	var start time.Time
+	if e.cfg.Telemetry.Enabled() {
+		start = time.Now()
+	}
 	wts, fr := e.catWts, e.freqs
 	cost := e.opCost()
 	cost.Flops *= 2 // likelihood plus derivative accumulations
@@ -698,6 +744,9 @@ func (e *Engine[T]) CalculateEdgeDerivatives(parentBuf, childBuf, matrix, d1Matr
 	}
 	lnL := kernels.RootLogLikelihood(siteL, e.patWts, scale, 0, d.PatternCount)
 	d1, d2 := kernels.ReduceEdgeDerivatives(siteL, siteD1, siteD2, e.patWts, 0, d.PatternCount)
+	if !start.IsZero() {
+		e.cfg.Telemetry.Record(telemetry.KernelEdge, 1, time.Since(start))
+	}
 	return lnL, d1, d2, nil
 }
 
@@ -733,6 +782,10 @@ func (e *Engine[T]) CalculateEdgeLogLikelihoods(parentBuf, childBuf, matrix, cum
 			return 0, err
 		}
 	}
+	var start time.Time
+	if e.cfg.Telemetry.Enabled() {
+		start = time.Now()
+	}
 	d := e.cfg.Dims
 	parent := e.partials[parentBuf].Data()
 	child := e.partials[childBuf].Data()
@@ -752,5 +805,9 @@ func (e *Engine[T]) CalculateEdgeLogLikelihoods(parentBuf, childBuf, matrix, cum
 	if err := device.CopyFromDevice(e.q, site, e.siteBuf); err != nil {
 		return 0, err
 	}
-	return kernels.RootLogLikelihood(site, e.patWts, scale, 0, d.PatternCount), nil
+	lnL := kernels.RootLogLikelihood(site, e.patWts, scale, 0, d.PatternCount)
+	if !start.IsZero() {
+		e.cfg.Telemetry.Record(telemetry.KernelEdge, 1, time.Since(start))
+	}
+	return lnL, nil
 }

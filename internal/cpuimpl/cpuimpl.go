@@ -29,9 +29,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"gobeagle/internal/engine"
+	"gobeagle/internal/flops"
 	"gobeagle/internal/kernels"
+	"gobeagle/internal/telemetry"
 )
 
 // Mode selects the CPU execution strategy.
@@ -105,6 +108,7 @@ type Engine[T kernels.Real] struct {
 	threads     int
 	minPatterns int
 	pool        *workerPool
+	tel         *telemetry.Collector
 	closed      bool
 }
 
@@ -122,9 +126,10 @@ func newEngine[T kernels.Real](cfg engine.Config, mode Mode) *Engine[T] {
 		mode:        mode,
 		threads:     threads,
 		minPatterns: minPat,
+		tel:         cfg.Telemetry,
 	}
 	if mode == ThreadPool || mode == ThreadPoolHybrid {
-		e.pool = newWorkerPool(threads)
+		e.pool = newWorkerPool(threads, mode.String())
 	}
 	return e
 }
@@ -247,30 +252,45 @@ func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
 	if err := e.validateOps(ops); err != nil {
 		return err
 	}
+	// Telemetry fast path: one atomic load when disabled, no timestamps taken.
+	var start time.Time
+	var batch uint64
+	if e.tel.Enabled() {
+		batch = e.tel.NextBatch()
+		start = time.Now()
+	}
 	p := e.Cfg.Dims.PatternCount
+	var err error
 	switch e.mode {
 	case Serial, SSE:
 		for _, op := range ops {
-			if err := e.runOp(op, 0, p); err != nil {
-				return err
+			if err = e.runOp(op, 0, p); err != nil {
+				break
 			}
 		}
 	case Futures:
-		return e.runFutures(ops)
+		err = e.runFutures(ops, batch)
 	case ThreadCreate:
 		for _, op := range ops {
-			if err := e.runThreadCreate(op); err != nil {
-				return err
+			if err = e.runThreadCreate(op); err != nil {
+				break
 			}
 		}
 	case ThreadPool:
 		for _, op := range ops {
-			if err := e.runThreadPool(op); err != nil {
-				return err
+			if err = e.runThreadPool(op); err != nil {
+				break
 			}
 		}
 	case ThreadPoolHybrid:
-		return e.runHybrid(ops)
+		err = e.runHybrid(ops, batch)
+	}
+	if err != nil {
+		return err
+	}
+	if !start.IsZero() {
+		e.tel.Record(telemetry.KernelPartials, len(ops), time.Since(start))
+		e.tel.AddFlops(flops.PartialsOp(e.Cfg.Dims) * float64(len(ops)))
 	}
 	return nil
 }
@@ -278,11 +298,15 @@ func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
 // runFutures executes operations level by level; operations within a level
 // are independent in the tree topology and run concurrently, each as one
 // asynchronous task computing its full pattern range (§VI-A).
-func (e *Engine[T]) runFutures(ops []engine.Operation) error {
+func (e *Engine[T]) runFutures(ops []engine.Operation, batch uint64) error {
 	levels := opLevels(ops)
 	errs := make([]error, len(ops))
 	idx := 0
-	for _, level := range levels {
+	for li, level := range levels {
+		var lstart time.Time
+		if e.tel.Enabled() {
+			lstart = time.Now()
+		}
 		var wg sync.WaitGroup
 		for _, op := range level {
 			wg.Add(1)
@@ -293,6 +317,9 @@ func (e *Engine[T]) runFutures(ops []engine.Operation) error {
 			idx++
 		}
 		wg.Wait()
+		if !lstart.IsZero() {
+			e.tel.TraceLevel(batch, li, len(level), len(level), time.Since(lstart))
+		}
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -372,18 +399,32 @@ func (e *Engine[T]) runThreadPool(op engine.Operation) error {
 // concurrency), narrow levels split patterns until the pool is saturated,
 // and no chunk is cut below HybridMinChunk patterns — so small-pattern
 // problems with independent operations no longer fall back to serial.
-func (e *Engine[T]) runHybrid(ops []engine.Operation) error {
+func (e *Engine[T]) runHybrid(ops []engine.Operation, batch uint64) error {
 	p := e.Cfg.Dims.PatternCount
 	if e.threads < 2 {
-		for _, op := range ops {
-			if err := e.runOp(op, 0, p); err != nil {
-				return err
+		if !e.tel.Enabled() {
+			for _, op := range ops {
+				if err := e.runOp(op, 0, p); err != nil {
+					return err
+				}
 			}
+			return nil
+		}
+		// Single-threaded fallback: still report the dependency leveling so
+		// the batch tracer stays meaningful on one-core hosts.
+		for li, level := range opLevels(ops) {
+			lstart := time.Now()
+			for _, op := range level {
+				if err := e.runOp(op, 0, p); err != nil {
+					return err
+				}
+			}
+			e.tel.TraceLevel(batch, li, len(level), len(level), time.Since(lstart))
 		}
 		return nil
 	}
-	for _, level := range opLevels(ops) {
-		if err := e.runHybridLevel(level); err != nil {
+	for li, level := range opLevels(ops) {
+		if err := e.runHybridLevel(level, batch, li); err != nil {
 			return err
 		}
 	}
@@ -407,15 +448,24 @@ func HybridChunks(levelWidth, patterns, threads int) int {
 
 // runHybridLevel dispatches one dependency level's (operation, chunk) tasks
 // and waits for the barrier at the end of the level.
-func (e *Engine[T]) runHybridLevel(level []engine.Operation) error {
+func (e *Engine[T]) runHybridLevel(level []engine.Operation, batch uint64, levelIdx int) error {
 	p := e.Cfg.Dims.PatternCount
+	var lstart time.Time
+	if e.tel.Enabled() {
+		lstart = time.Now()
+	}
 	if len(level) == 1 && p < e.minPatterns {
 		// A single small operation gains nothing from chunking; stay serial,
 		// exactly as the plain thread-pool strategy does.
-		return e.runOp(level[0], 0, p)
+		err := e.runOp(level[0], 0, p)
+		if err == nil && !lstart.IsZero() {
+			e.tel.TraceLevel(batch, levelIdx, 1, 1, time.Since(lstart))
+		}
+		return err
 	}
 	chunks := HybridChunks(len(level), p, e.threads)
 	errs := make([]error, len(level)*chunks)
+	tasks := 0
 	var wg sync.WaitGroup
 	for i, op := range level {
 		for c := 0; c < chunks; c++ {
@@ -425,6 +475,7 @@ func (e *Engine[T]) runHybridLevel(level []engine.Operation) error {
 				continue
 			}
 			slot := i*chunks + c
+			tasks++
 			wg.Add(1)
 			e.pool.submit(func() {
 				defer wg.Done()
@@ -437,6 +488,9 @@ func (e *Engine[T]) runHybridLevel(level []engine.Operation) error {
 		if err != nil {
 			return err
 		}
+	}
+	if !lstart.IsZero() {
+		e.tel.TraceLevel(batch, levelIdx, len(level), tasks, time.Since(lstart))
 	}
 	return nil
 }
@@ -526,11 +580,19 @@ func (e *Engine[T]) SiteLogLikelihoods(rootBuf, cumScaleBuf int) ([]float64, err
 // the per-pattern site likelihoods are computed on the worker pool, as
 // §VI-C describes.
 func (e *Engine[T]) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float64, error) {
+	var start time.Time
+	if e.tel.Enabled() {
+		start = time.Now()
+	}
 	site, scale, err := e.siteLikelihoods(rootBuf, cumScaleBuf)
 	if err != nil {
 		return 0, err
 	}
-	return kernels.RootLogLikelihood(site, e.PatWts, scale, 0, len(site)), nil
+	lnL := kernels.RootLogLikelihood(site, e.PatWts, scale, 0, len(site))
+	if !start.IsZero() {
+		e.tel.Record(telemetry.KernelRoot, 1, time.Since(start))
+	}
+	return lnL, nil
 }
 
 func (e *Engine[T]) siteLikelihoods(rootBuf, cumScaleBuf int) (site, scale []float64, err error) {
@@ -596,10 +658,18 @@ func (e *Engine[T]) CalculateEdgeLogLikelihoods(parentBuf, childBuf, matrix, cum
 	if err != nil {
 		return 0, err
 	}
+	var start time.Time
+	if e.tel.Enabled() {
+		start = time.Now()
+	}
 	d := e.Cfg.Dims
 	site := make([]float64, d.PatternCount)
 	kernels.EdgeSiteLikelihoods(site, parent, child, e.Matrices[matrix], e.CatWts, e.Freqs, d, 0, d.PatternCount)
-	return kernels.RootLogLikelihood(site, e.PatWts, scale, 0, d.PatternCount), nil
+	lnL := kernels.RootLogLikelihood(site, e.PatWts, scale, 0, d.PatternCount)
+	if !start.IsZero() {
+		e.tel.Record(telemetry.KernelEdge, 1, time.Since(start))
+	}
+	return lnL, nil
 }
 
 // CalculateEdgeDerivatives integrates across a single branch and returns
@@ -645,6 +715,10 @@ func (e *Engine[T]) CalculateEdgeDerivatives(parentBuf, childBuf, matrix, d1Matr
 	if err != nil {
 		return 0, 0, 0, err
 	}
+	var start time.Time
+	if e.tel.Enabled() {
+		start = time.Now()
+	}
 	d := e.Cfg.Dims
 	siteL := make([]float64, d.PatternCount)
 	siteD1 := make([]float64, d.PatternCount)
@@ -656,6 +730,9 @@ func (e *Engine[T]) CalculateEdgeDerivatives(parentBuf, childBuf, matrix, d1Matr
 		e.CatWts, e.Freqs, d, 0, d.PatternCount)
 	lnL := kernels.RootLogLikelihood(siteL, e.PatWts, scale, 0, d.PatternCount)
 	d1, d2 := kernels.ReduceEdgeDerivatives(siteL, siteD1, siteD2, e.PatWts, 0, d.PatternCount)
+	if !start.IsZero() {
+		e.tel.Record(telemetry.KernelEdge, 1, time.Since(start))
+	}
 	return lnL, d1, d2, nil
 }
 

@@ -1,6 +1,11 @@
 package cpuimpl
 
-import "sync"
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+)
 
 // workerPool is a fixed set of persistent worker goroutines fed through a
 // channel — the C++ thread-pool of §VI-C. Tasks are arbitrary closures;
@@ -11,16 +16,20 @@ type workerPool struct {
 	done sync.WaitGroup
 }
 
-func newWorkerPool(workers int) *workerPool {
+// newWorkerPool starts the workers. Each worker goroutine carries pprof
+// labels (implementation name and worker index) so CPU profiles attribute
+// kernel time to the owning pool instead of an anonymous goroutine.
+func newWorkerPool(workers int, impl string) *workerPool {
 	p := &workerPool{jobs: make(chan func(), workers*4)}
 	p.done.Add(workers)
 	for i := 0; i < workers; i++ {
-		go func() {
+		labels := pprof.Labels("beagle_impl", impl, "beagle_worker", strconv.Itoa(i))
+		go pprof.Do(context.Background(), labels, func(context.Context) {
 			defer p.done.Done()
 			for job := range p.jobs {
 				job()
 			}
-		}()
+		})
 	}
 	return p
 }

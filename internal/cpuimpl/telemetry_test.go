@@ -1,0 +1,192 @@
+package cpuimpl
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"gobeagle/internal/engine"
+	"gobeagle/internal/seqgen"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/telemetry"
+	"gobeagle/internal/tree"
+)
+
+// telemetryProblem builds a shared small problem for the telemetry tests.
+func telemetryProblem(t *testing.T) (*tree.Tree, *substmodel.Model, *substmodel.SiteRates, *seqgen.PatternSet) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(19))
+	tr, err := tree.Random(rng, 12, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := substmodel.NewHKY85(2.0, []float64{0.3, 0.2, 0.25, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := substmodel.GammaRates(0.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	align, err := seqgen.Simulate(rng, tr, m, rates, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, m, rates, seqgen.CompressPatterns(align)
+}
+
+func TestTelemetryRecordsKernelsInEveryMode(t *testing.T) {
+	tr, m, rates, ps := telemetryProblem(t)
+	for _, mode := range Modes() {
+		tel := telemetry.New()
+		tel.SetEnabled(true)
+		cfg := testConfig(tr, 4, ps.PatternCount(), 4, false)
+		cfg.Telemetry = tel
+		e, err := New(cfg, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveEngine(t, e, tr, m, rates, ps, true, false)
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		snap := tel.Snapshot()
+		p := snap.Kernel(telemetry.KernelPartials)
+		if p.Calls == 0 || p.Ops != uint64(tr.TipCount-1) {
+			t.Errorf("%v: partials ops/calls = %d/%d, want %d ops", mode, p.Ops, p.Calls, tr.TipCount-1)
+		}
+		if snap.Kernel(telemetry.KernelRoot).Calls == 0 {
+			t.Errorf("%v: root kernel not recorded", mode)
+		}
+		if mats := snap.Kernel(telemetry.KernelMatrices); mats.Ops == 0 {
+			t.Errorf("%v: matrices kernel not recorded", mode)
+		}
+		if snap.TotalFlops <= 0 {
+			t.Errorf("%v: no effective flops accumulated", mode)
+		}
+		if snap.Batches == 0 {
+			t.Errorf("%v: batch counter untouched", mode)
+		}
+	}
+}
+
+// TestTelemetryLevelTraces checks the leveled strategies (futures and
+// thread-pool-hybrid) report their dependency leveling through the batch
+// tracer, with the per-level op counts summing to the batch's operations.
+func TestTelemetryLevelTraces(t *testing.T) {
+	tr, m, rates, ps := telemetryProblem(t)
+	for _, mode := range []Mode{Futures, ThreadPoolHybrid} {
+		tel := telemetry.New()
+		tel.SetEnabled(true)
+		cfg := testConfig(tr, 4, ps.PatternCount(), 4, false)
+		cfg.Telemetry = tel
+		e, err := New(cfg, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveEngine(t, e, tr, m, rates, ps, true, false)
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		levels := tel.Snapshot().Levels
+		if len(levels) == 0 {
+			t.Errorf("%v: no dependency levels traced", mode)
+			continue
+		}
+		byBatch := map[uint64]int{}
+		lastLevel := map[uint64]int{}
+		for _, lt := range levels {
+			if lt.Batch == 0 {
+				t.Errorf("%v: level trace with zero batch id", mode)
+			}
+			if lt.Tasks < 1 || lt.Ops < 1 {
+				t.Errorf("%v: degenerate level trace %+v", mode, lt)
+			}
+			if prev, ok := lastLevel[lt.Batch]; ok && lt.Level != prev+1 {
+				t.Errorf("%v: batch %d levels not consecutive: %d after %d", mode, lt.Batch, lt.Level, prev)
+			}
+			lastLevel[lt.Batch] = lt.Level
+			byBatch[lt.Batch] += lt.Ops
+		}
+		for batch, ops := range byBatch {
+			if ops != tr.TipCount-1 {
+				t.Errorf("%v: batch %d level ops sum to %d, want %d", mode, batch, ops, tr.TipCount-1)
+			}
+		}
+	}
+}
+
+func TestTelemetryDisabledAndNilRecordNothing(t *testing.T) {
+	tr, m, rates, ps := telemetryProblem(t)
+	disabled := telemetry.New() // never enabled
+	for _, tel := range []*telemetry.Collector{disabled, nil} {
+		cfg := testConfig(tr, 4, ps.PatternCount(), 4, false)
+		cfg.Telemetry = tel
+		e, err := New(cfg, ThreadPoolHybrid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveEngine(t, e, tr, m, rates, ps, true, false)
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := disabled.Snapshot()
+	if len(snap.Kernels) != 0 || snap.Batches != 0 || len(snap.Levels) != 0 {
+		t.Fatalf("disabled collector recorded: %+v", snap)
+	}
+}
+
+// TestTelemetryDisabledOverhead is the regression guard for the <2%
+// disabled-overhead budget: a disabled collector's UpdatePartials must stay
+// close to an engine with no collector at all. The threshold is deliberately
+// loose (50%) so scheduler noise on shared CI runners cannot flake it; the
+// real budget is pinned by BenchmarkDisabledGuard in internal/telemetry and
+// the untouched internal/kernels micro-benchmarks.
+func TestTelemetryDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	tr, m, rates, ps := telemetryProblem(t)
+
+	eval := func(tel *telemetry.Collector) time.Duration {
+		cfg := testConfig(tr, 4, ps.PatternCount(), 4, false)
+		cfg.Telemetry = tel
+		e, err := New(cfg, Serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		sched := tr.FullSchedule()
+		ops := make([]engine.Operation, len(sched.Ops))
+		for i, op := range sched.Ops {
+			ops[i] = engine.Operation{
+				Dest: op.Dest, DestScaleWrite: engine.None, DestScaleRead: engine.None,
+				Child1: op.Child1, Child1Mat: op.Child1Mat,
+				Child2: op.Child2, Child2Mat: op.Child2Mat,
+			}
+		}
+		driveEngine(t, e, tr, m, rates, ps, true, false)
+		best := time.Duration(1<<63 - 1)
+		for rep := 0; rep < 30; rep++ {
+			start := time.Now()
+			if err := e.UpdatePartials(ops); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	baseline := eval(nil)
+	disabled := eval(telemetry.New())
+	if baseline <= 0 {
+		t.Skip("timer resolution too coarse for comparison")
+	}
+	if ratio := float64(disabled) / float64(baseline); ratio > 1.5 {
+		t.Errorf("disabled telemetry overhead %.1f%% (baseline %v, disabled %v)",
+			100*(ratio-1), baseline, disabled)
+	}
+}

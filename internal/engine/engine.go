@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"gobeagle/internal/kernels"
+	"gobeagle/internal/telemetry"
 )
 
 // None marks an unused index field in an Operation (no rescaling, for
@@ -49,6 +50,10 @@ type Config struct {
 	MinPatternsWork int  // threading threshold; 0 = implementation default
 	WorkGroupSize   int  // accelerator work-group size in patterns; 0 = device default
 	DisableFMA      bool // build kernels without fused multiply–add (Table IV ablation)
+	// Telemetry, when non-nil, receives per-kernel counters, effective-flop
+	// accounting and scheduler level traces from the implementation. A nil
+	// collector (or a disabled one) must cost nothing on the hot paths.
+	Telemetry *telemetry.Collector
 }
 
 // Validate reports configuration errors.

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"gobeagle/internal/kernels"
+	"gobeagle/internal/telemetry"
 )
 
 // Storage is the flexibly indexed buffer store shared by host-side
@@ -265,11 +267,18 @@ func (s *Storage[T]) UpdateTransitionMatrices(eigenSlot int, matrices []int, edg
 			return fmt.Errorf("engine: negative edge length %v", edgeLengths[i])
 		}
 	}
+	var start time.Time
+	if s.Cfg.Telemetry.Enabled() {
+		start = time.Now()
+	}
 	for i, m := range matrices {
 		if s.Matrices[m] == nil {
 			s.Matrices[m] = make([]T, s.Cfg.Dims.MatrixLen())
 		}
 		kernels.UpdateTransitionMatrix(s.Matrices[m], e, edgeLengths[i], s.CatRates)
+	}
+	if !start.IsZero() {
+		s.Cfg.Telemetry.Record(telemetry.KernelMatrices, len(matrices), time.Since(start))
 	}
 	return nil
 }
@@ -303,6 +312,10 @@ func (s *Storage[T]) UpdateTransitionDerivatives(eigenSlot int, d1Matrices, d2Ma
 			return fmt.Errorf("engine: negative edge length %v", edgeLengths[i])
 		}
 	}
+	var start time.Time
+	if s.Cfg.Telemetry.Enabled() {
+		start = time.Now()
+	}
 	for i, m := range d1Matrices {
 		if s.Matrices[m] == nil {
 			s.Matrices[m] = make([]T, s.Cfg.Dims.MatrixLen())
@@ -315,6 +328,9 @@ func (s *Storage[T]) UpdateTransitionDerivatives(eigenSlot int, d1Matrices, d2Ma
 			d2 = s.Matrices[d2Matrices[i]]
 		}
 		kernels.UpdateTransitionDerivatives(s.Matrices[m], d2, e, edgeLengths[i], s.CatRates)
+	}
+	if !start.IsZero() {
+		s.Cfg.Telemetry.Record(telemetry.KernelDerivatives, len(d1Matrices), time.Since(start))
 	}
 	return nil
 }

@@ -16,8 +16,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"gobeagle/internal/engine"
+	"gobeagle/internal/flops"
+	"gobeagle/internal/telemetry"
 )
 
 // Builder constructs a backend engine for one pattern slice. The passed
@@ -86,6 +89,10 @@ func New(cfg engine.Config, builders []Builder, shares []float64) (*Engine, erro
 	for i, b := range builders {
 		sub := cfg
 		sub.Dims.PatternCount = e.hi[i] - e.lo[i]
+		// The parent engine records batch wall times spanning all backends;
+		// letting sub-engines also record into the same collector would double
+		// count concurrent work, so sub-configurations get no telemetry.
+		sub.Telemetry = nil
 		eng, err := b(sub)
 		if err != nil {
 			for _, s := range e.subs {
@@ -262,18 +269,37 @@ func (e *Engine) GetTransitionMatrix(matrix int) ([]float64, error) {
 // UpdateTransitionMatrices broadcasts; every backend computes the same
 // matrices (data parallelism is across patterns, not branches).
 func (e *Engine) UpdateTransitionMatrices(eigenSlot int, matrices []int, edgeLengths []float64) error {
-	return e.parallel(func(_ int, sub engine.Engine) error {
+	var start time.Time
+	if e.cfg.Telemetry.Enabled() {
+		start = time.Now()
+	}
+	err := e.parallel(func(_ int, sub engine.Engine) error {
 		return sub.UpdateTransitionMatrices(eigenSlot, matrices, edgeLengths)
 	})
+	if err == nil && !start.IsZero() {
+		e.cfg.Telemetry.Record(telemetry.KernelMatrices, len(matrices), time.Since(start))
+	}
+	return err
 }
 
 // UpdatePartials executes the operation list on every backend concurrently
 // — each over its own pattern slice. This is the load-balanced execution of
 // §IX.
 func (e *Engine) UpdatePartials(ops []engine.Operation) error {
-	return e.parallel(func(_ int, sub engine.Engine) error {
+	tel := e.cfg.Telemetry
+	var start time.Time
+	if tel.Enabled() {
+		tel.NextBatch()
+		start = time.Now()
+	}
+	err := e.parallel(func(_ int, sub engine.Engine) error {
 		return sub.UpdatePartials(ops)
 	})
+	if err == nil && !start.IsZero() {
+		tel.Record(telemetry.KernelPartials, len(ops), time.Since(start))
+		tel.AddFlops(flops.PartialsOp(e.cfg.Dims) * float64(len(ops)))
+	}
+	return err
 }
 
 // ResetScaleFactors broadcasts.
@@ -294,6 +320,10 @@ func (e *Engine) AccumulateScaleFactors(scaleBufs []int, cumBuf int) error {
 // CalculateRootLogLikelihoods sums the backends' pattern-slice log
 // likelihoods (patterns are independent, so the partition is exact).
 func (e *Engine) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float64, error) {
+	var start time.Time
+	if e.cfg.Telemetry.Enabled() {
+		start = time.Now()
+	}
 	parts := make([]float64, len(e.subs))
 	err := e.parallel(func(i int, sub engine.Engine) error {
 		lnL, err := sub.CalculateRootLogLikelihoods(rootBuf, cumScaleBuf)
@@ -307,11 +337,18 @@ func (e *Engine) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float64,
 	for _, p := range parts {
 		total += p
 	}
+	if !start.IsZero() {
+		e.cfg.Telemetry.Record(telemetry.KernelRoot, 1, time.Since(start))
+	}
 	return total, nil
 }
 
 // CalculateEdgeLogLikelihoods sums across backends.
 func (e *Engine) CalculateEdgeLogLikelihoods(parentBuf, childBuf, matrix, cumScaleBuf int) (float64, error) {
+	var start time.Time
+	if e.cfg.Telemetry.Enabled() {
+		start = time.Now()
+	}
 	parts := make([]float64, len(e.subs))
 	err := e.parallel(func(i int, sub engine.Engine) error {
 		lnL, err := sub.CalculateEdgeLogLikelihoods(parentBuf, childBuf, matrix, cumScaleBuf)
@@ -324,6 +361,9 @@ func (e *Engine) CalculateEdgeLogLikelihoods(parentBuf, childBuf, matrix, cumSca
 	var total float64
 	for _, p := range parts {
 		total += p
+	}
+	if !start.IsZero() {
+		e.cfg.Telemetry.Record(telemetry.KernelEdge, 1, time.Since(start))
 	}
 	return total, nil
 }

@@ -57,6 +57,8 @@ func NewMultiDeviceInstance(cfg Config, resourceIDs []int, shares []float64) (*I
 		WorkGroupSize:   cfg.WorkGroupSize,
 		DisableFMA:      cfg.Flags&FlagDisableFMA != 0,
 	}
+	tel := newInstanceCollector(cfg.Flags)
+	ecfg.Telemetry = tel
 	builders := make([]multiimpl.Builder, len(selected))
 	for i, rsc := range selected {
 		rsc := rsc
@@ -68,7 +70,8 @@ func NewMultiDeviceInstance(cfg Config, resourceIDs []int, shares []float64) (*I
 	if err != nil {
 		return nil, err
 	}
-	return &Instance{cfg: cfg, eng: eng, rsc: selected[0]}, nil
+	tel.SetLabels(eng.Name(), "multi-device")
+	return &Instance{cfg: cfg, eng: eng, rsc: selected[0], tel: tel}, nil
 }
 
 // throughputShare estimates a resource's relative likelihood throughput for

@@ -4,18 +4,31 @@
 # different analyses types by varying input parameters to our genomictest
 # program". Every configuration cross-validates all compute resources
 # against the serial CPU reference.
-set -e
-cd "$(dirname "$0")/.."
+#
+# Runnable from any working directory; fails fast and names the section
+# that failed. Used locally and by the CI "correctness checks" job.
+set -eu
 
-echo "== go vet ./..."
-go vet ./...
+ROOT=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
+TIMEOUT=${CHECK_TIMEOUT:-15m}
 
-echo "== go test -race -short ./..."
-go test -race -short ./...
+SECTION="startup"
+trap 'status=$?; if [ "$status" -ne 0 ]; then echo "FAILED in section: $SECTION (exit $status)" >&2; fi' EXIT
+
+section() {
+    SECTION=$1
+    echo "== $SECTION"
+}
+
+section "go vet ./..."
+go -C "$ROOT" vet ./...
+
+section "go test -race -short ./..."
+go -C "$ROOT" test -race -short -timeout "$TIMEOUT" ./...
 
 run() {
-    echo "== genomictest -check $*"
-    go run ./cmd/genomictest -check "$@"
+    section "genomictest -check $*"
+    go -C "$ROOT" run ./cmd/genomictest -check "$@"
 }
 
 # Nucleotide models: precision x rate categories x problem sizes.
@@ -31,4 +44,11 @@ run -states 20 -taxa 8 -patterns 200 -categories 2 -precision double
 run -states 61 -taxa 6 -patterns 100 -categories 1 -precision double
 run -states 61 -taxa 6 -patterns 100 -categories 1 -precision single
 
+# Telemetry smoke: -stats must report per-kernel counts without breaking
+# the benchmark path.
+section "genomictest -stats smoke"
+stats_out=$(go -C "$ROOT" run ./cmd/genomictest -stats -taxa 8 -patterns 200 -reps 1 -threading hybrid)
+echo "$stats_out" | grep -q 'telemetry:'
+
+SECTION="done"
 echo "all checks passed"

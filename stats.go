@@ -1,0 +1,182 @@
+package gobeagle
+
+import (
+	"time"
+
+	"gobeagle/internal/telemetry"
+)
+
+// Stats is a point-in-time snapshot of an instance's telemetry: per-kernel
+// operation counters and duration histograms, effective-GFLOPS accounting,
+// and the retained scheduler dependency-level traces. Snapshots are taken
+// atomically against concurrent recording and are plain data, safe to retain
+// and to serialize (all fields marshal cleanly to JSON).
+//
+// Collection is off unless the instance was created with FlagTelemetry or
+// EnableTelemetry(true) was called; a disabled instance yields a snapshot
+// with Enabled == false and whatever was recorded while collection was on.
+type Stats struct {
+	// Implementation is the engine name, e.g. "CPU-threadpool-hybrid" or
+	// "OpenCL-GPU: Radeon R9 Nano".
+	Implementation string `json:"implementation"`
+	// Strategy is the scheduling strategy: the CPU threading model
+	// ("serial", "futures", "thread-pool-hybrid", ...), "device" for
+	// accelerator implementations, or "multi-device".
+	Strategy string `json:"strategy"`
+	// Enabled reports whether collection was on when the snapshot was taken.
+	Enabled bool `json:"enabled"`
+	// TotalFlops is the accumulated effective floating-point operation count
+	// of the partials updates — the paper's §V-A measure, from the same
+	// per-operation flop model genomictest and beaglebench use.
+	TotalFlops float64 `json:"total_flops"`
+	// EffectiveGFLOPS relates TotalFlops to the partials kernel's total wall
+	// time.
+	EffectiveGFLOPS float64 `json:"effective_gflops"`
+	// Batches counts UpdatePartials invocations recorded since the last
+	// reset.
+	Batches uint64 `json:"batches"`
+	// Kernels holds per-kernel-family stats, only for families with
+	// recorded calls.
+	Kernels []KernelStats `json:"kernels,omitempty"`
+	// Levels are the most recent scheduler dependency-level traces, oldest
+	// first (recorded by the leveled CPU strategies: futures and
+	// thread-pool-hybrid).
+	Levels []LevelTrace `json:"levels,omitempty"`
+}
+
+// Kernel returns the stats recorded for one kernel family ("partials",
+// "root", "edge", "matrices", "derivatives", "rescale"), or a zero value.
+func (s Stats) Kernel(name string) KernelStats {
+	for _, k := range s.Kernels {
+		if k.Kernel == name {
+			return k
+		}
+	}
+	return KernelStats{Kernel: name}
+}
+
+// KernelStats aggregates one kernel family's recorded invocations.
+type KernelStats struct {
+	// Kernel names the family: "partials", "root", "edge", "matrices",
+	// "derivatives" or "rescale".
+	Kernel string `json:"kernel"`
+	// Ops counts logical operations (individual partials operations across
+	// all batches); Calls counts timed invocations — one per batch for
+	// batched kernels, so Ops ≥ Calls.
+	Ops   uint64 `json:"ops"`
+	Calls uint64 `json:"calls"`
+	// Total, Min and Max aggregate the per-invocation wall times.
+	Total time.Duration `json:"total_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	// Histogram holds the non-empty log₂ duration buckets, ascending.
+	Histogram []HistogramBucket `json:"histogram,omitempty"`
+}
+
+// MeanPerOp is the average wall time attributed to one logical operation.
+func (k KernelStats) MeanPerOp() time.Duration {
+	if k.Ops == 0 {
+		return 0
+	}
+	return k.Total / time.Duration(k.Ops)
+}
+
+// MeanPerCall is the average wall time of one timed invocation.
+func (k KernelStats) MeanPerCall() time.Duration {
+	if k.Calls == 0 {
+		return 0
+	}
+	return k.Total / time.Duration(k.Calls)
+}
+
+// HistogramBucket is one non-empty log₂ duration bucket: Count invocations
+// took at most UpperBound (and longer than the previous bucket's bound).
+type HistogramBucket struct {
+	UpperBound time.Duration `json:"upper_bound_ns"`
+	Count      uint64        `json:"count"`
+}
+
+// LevelTrace records one scheduler dependency level of an UpdatePartials
+// batch: Ops independent operations dispatched as Tasks concurrent
+// (operation, pattern-chunk) tasks, completing in Wall time. Batch is the
+// 1-based batch number; Level indexes the dependency level within it.
+type LevelTrace struct {
+	Batch uint64        `json:"batch"`
+	Level int           `json:"level"`
+	Ops   int           `json:"ops"`
+	Tasks int           `json:"tasks"`
+	Wall  time.Duration `json:"wall_ns"`
+}
+
+// Stats returns the instance's telemetry snapshot. Safe to call while other
+// goroutines drive the instance's sibling instances; note the instance
+// itself is still single-goroutine for computation methods.
+func (in *Instance) Stats() Stats {
+	snap := in.tel.Snapshot()
+	out := Stats{
+		Implementation:  snap.Implementation,
+		Strategy:        snap.Strategy,
+		Enabled:         snap.Enabled,
+		TotalFlops:      snap.TotalFlops,
+		EffectiveGFLOPS: snap.EffectiveGFLOPS,
+		Batches:         snap.Batches,
+	}
+	for _, ks := range snap.Kernels {
+		pk := KernelStats{
+			Kernel: ks.Kernel.String(),
+			Ops:    ks.Ops,
+			Calls:  ks.Calls,
+			Total:  ks.Total,
+			Min:    ks.Min,
+			Max:    ks.Max,
+		}
+		for _, b := range ks.Histogram {
+			pk.Histogram = append(pk.Histogram, HistogramBucket(b))
+		}
+		out.Kernels = append(out.Kernels, pk)
+	}
+	for _, lt := range snap.Levels {
+		out.Levels = append(out.Levels, LevelTrace(lt))
+	}
+	return out
+}
+
+// ResetStats clears all telemetry counters, histograms, the flop accumulator
+// and the level-trace ring; the enabled switch is unchanged.
+func (in *Instance) ResetStats() { in.tel.Reset() }
+
+// EnableTelemetry switches collection on or off at runtime. Disabled
+// collection costs a single atomic load per instrumented call.
+func (in *Instance) EnableTelemetry(on bool) { in.tel.SetEnabled(on) }
+
+// TelemetryEnabled reports whether collection is currently on.
+func (in *Instance) TelemetryEnabled() bool { return in.tel.Enabled() }
+
+// strategyName derives the reported scheduling-strategy label from the
+// instance flags (CPU resources only; device-backed instances report
+// "device" and multi-device instances "multi-device").
+func strategyName(flags Flags) string {
+	switch {
+	case flags&FlagThreadingThreadPoolHybrid != 0:
+		return "thread-pool-hybrid"
+	case flags&FlagThreadingThreadPool != 0:
+		return "thread-pool"
+	case flags&FlagThreadingThreadCreate != 0:
+		return "thread-create"
+	case flags&FlagThreadingFutures != 0:
+		return "futures"
+	case flags&FlagVectorSSE != 0:
+		return "sse"
+	default:
+		return "serial"
+	}
+}
+
+// newInstanceCollector builds the collector every instance carries: always
+// present so telemetry can be toggled at runtime, enabled only when
+// FlagTelemetry is set.
+func newInstanceCollector(flags Flags) *telemetry.Collector {
+	tel := telemetry.New()
+	tel.SetEnabled(flags&FlagTelemetry != 0)
+	return tel
+}
