@@ -1,0 +1,107 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against // want comments, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest on the standard library only.
+//
+// A fixture is one directory under testdata/src/<name>/ containing a small
+// package seeded with violations. Expected diagnostics are written on the
+// offending line:
+//
+//	x := make([]int, 8) // want `make allocates`
+//
+// The backquoted text is a regular expression matched against the
+// diagnostic message; every reported diagnostic must match a want on its
+// line, and every want must be hit by a report.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"gobeagle/internal/analysis"
+)
+
+// wantRx extracts `// want `regexp“ expectations. Both backquotes and
+// double quotes delimit the pattern.
+var wantRx = regexp.MustCompile("// want (`([^`]+)`|\"([^\"]+)\")")
+
+// expectation is one // want comment.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture package rooted at dir, applies the analyzer, and
+// reports mismatches between its diagnostics and the fixture's // want
+// comments through t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := m[2]
+				if pat == "" {
+					pat = m[3]
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+			}
+		}
+	}
+
+	diags, err := analysis.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if exp := match(wants, pos, d.Message); exp != nil {
+			exp.hit = true
+		} else {
+			t.Errorf("%s: unexpected diagnostic: %s", rel(pos), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// match finds an unhit expectation on the diagnostic's line whose pattern
+// matches the message.
+func match(wants []*expectation, pos token.Position, msg string) *expectation {
+	for _, w := range wants {
+		if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+func rel(pos token.Position) string {
+	parts := strings.Split(pos.Filename, "testdata/")
+	name := pos.Filename
+	if len(parts) > 1 {
+		name = parts[len(parts)-1]
+	}
+	return fmt.Sprintf("%s:%d", name, pos.Line)
+}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FlagExcl enforces the two structural invariants of the public Flags
+// bitfield:
+//
+//  1. The CPU threading selections (FlagThreadingFutures, ...ThreadCreate,
+//     ...ThreadPool, ...ThreadPoolHybrid) are mutually exclusive — the
+//     resource layer can honor only one. Any expression that ORs two of
+//     them together is a latent creation-time error and is reported at the
+//     call site. Mask contexts are exempt: the right-hand side of &^ or &
+//     clears or tests bits, it does not select two models, and the
+//     threadingFlags mask constant itself is the definition of the set.
+//
+//  2. Every Flag* constant must be rendered by Flags.String — an invisible
+//     flag silently vanishes from resource listings, logs and the
+//     benchmark reports that Table III/V reproduction depends on.
+//
+// The analyzer is structural, not name-bound: any package defining an
+// unsigned named type with a String method and a threadingFlags constant of
+// that type gets the same treatment, which is how its own fixtures are
+// checked.
+var FlagExcl = &Analyzer{
+	Name: "flagexcl",
+	Doc:  "threading flags are mutually exclusive and every flag prints in String",
+	Run:  runFlagExcl,
+}
+
+func runFlagExcl(pass *Pass) error {
+	// Positions exempt from the OR check: subtrees defining a threadingFlags
+	// mask, and right operands of & / &^ (mask clears and tests).
+	exempt := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ValueSpec:
+				for _, name := range n.Names {
+					if name.Name == "threadingFlags" {
+						exempt[n] = true
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.AND_NOT || n.Op == token.AND {
+					exempt[n.X] = true
+					exempt[n.Y] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		checkThreadingOrs(pass, f, exempt)
+	}
+	checkStringCoverage(pass)
+	return nil
+}
+
+// threadingMask returns the value of the package-scoped threadingFlags
+// constant for the named type t, or 0 if t's package declares none.
+func threadingMask(t types.Type) (uint64, bool) {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return 0, false
+	}
+	obj := named.Obj().Pkg().Scope().Lookup("threadingFlags")
+	c, ok := obj.(*types.Const)
+	if !ok || !types.Identical(c.Type(), t) {
+		return 0, false
+	}
+	v, ok := constant.Uint64Val(constant.ToInt(c.Val()))
+	return v, ok
+}
+
+// checkThreadingOrs reports | expressions whose two operands both carry
+// threading-mask bits. Subtrees rooted at exempt nodes (mask definitions
+// and mask operands of & / &^) are not reported.
+func checkThreadingOrs(pass *Pass, f *ast.File, exempt map[ast.Node]bool) {
+	info := pass.TypesInfo
+	// exemptRanges: position spans under which OR is a mask expression.
+	type span struct{ lo, hi token.Pos }
+	var spans []span
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n != nil && exempt[n] {
+			spans = append(spans, span{n.Pos(), n.End()})
+		}
+		return true
+	})
+	inMask := func(pos token.Pos) bool {
+		for _, s := range spans {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.OR || inMask(be.Pos()) {
+			return true
+		}
+		xv := constBits(info, be.X)
+		yv := constBits(info, be.Y)
+		if xv == 0 || yv == 0 {
+			return true
+		}
+		if mask, ok := threadingMask(info.TypeOf(be)); ok && mask != 0 && xv&mask != 0 && yv&mask != 0 {
+			pass.Reportf(be.OpPos, "combines two mutually exclusive threading flags; select exactly one threading model")
+		}
+		return true
+	})
+}
+
+// constBits returns the constant integer value of e, or 0 when e is not
+// constant.
+func constBits(info *types.Info, e ast.Expr) uint64 {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0
+	}
+	v, ok := constant.Uint64Val(constant.ToInt(tv.Value))
+	if !ok {
+		return 0
+	}
+	return v
+}
+
+// checkStringCoverage verifies, for every named unsigned type T in the
+// package with both Flag*-prefixed constants and a String method, that each
+// Flag* constant is referenced inside the String method body.
+func checkStringCoverage(pass *Pass) {
+	info := pass.TypesInfo
+	scope := pass.Pkg.Scope()
+
+	// Collect flag constants grouped by their named type.
+	flagConsts := map[*types.Named][]*types.Const{}
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Flag") {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		b, ok := named.Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsUnsigned == 0 {
+			continue
+		}
+		flagConsts[named] = append(flagConsts[named], c)
+	}
+
+	for named, consts := range flagConsts {
+		body := stringMethodBody(pass, named)
+		if body == nil {
+			pass.Reportf(named.Obj().Pos(), "flag type %s has Flag* constants but no String method to render them", named.Obj().Name())
+			continue
+		}
+		referenced := map[types.Object]bool{}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					referenced[obj] = true
+				}
+			}
+			return true
+		})
+		for _, c := range consts {
+			if !referenced[c] {
+				pass.Reportf(c.Pos(), "%s is not rendered by %s.String; add it to the name table", c.Name(), named.Obj().Name())
+			}
+		}
+	}
+}
+
+// stringMethodBody returns the body of named's String method when it is
+// declared in this package.
+func stringMethodBody(pass *Pass, named *types.Named) *ast.BlockStmt {
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() != "String" {
+			continue
+		}
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != "String" || fd.Recv == nil {
+					continue
+				}
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok && obj == m {
+					return fd.Body
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// HazardCapture is a capture checker for asynchronously dispatched closures,
+// specialized to the scheduler dispatch loops in internal/cpuimpl and
+// stricter than vet's loopclosure. The hazard-leveled schedulers guarantee
+// that operations within a dependency level share no buffers; that guarantee
+// is void if the dispatch closure itself smuggles shared mutable locals
+// across goroutines. Go 1.22 made loop variables per-iteration, so the
+// classic loopclosure bug is gone — the races that remain are exactly the
+// ones vet no longer looks for:
+//
+//   - a closure handed to `go` or to a pool submit/dispatch call inside a
+//     loop captures a variable declared outside the loop that the loop body
+//     also writes (every dispatched goroutine races the next iteration's
+//     write);
+//   - a closure dispatched asynchronously captures a variable that is
+//     written later in the enclosing function (the goroutine races the
+//     write behind the dispatch point).
+//
+// Fixes are mechanical: pass the value as a call argument, or write through
+// a per-task slot (errs[i]) instead of the shared variable.
+var HazardCapture = &Analyzer{
+	Name: "hazardcapture",
+	Doc:  "async-dispatched closures must not capture shared mutable locals",
+	Run:  runHazardCapture,
+}
+
+// dispatchCallees matches pool-style asynchronous dispatch entry points.
+var dispatchCallees = regexp.MustCompile(`^(?i)(submit|dispatch|spawn)$`)
+
+func runHazardCapture(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDispatches(pass, fd)
+		}
+	}
+	return nil
+}
+
+// dispatchSite is one async hand-off of a closure.
+type dispatchSite struct {
+	node    ast.Node     // the go statement or dispatch call
+	closure *ast.FuncLit // the closure being dispatched
+}
+
+func checkDispatches(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	var sites []dispatchSite
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			for _, lit := range closureOperands(n.Call) {
+				sites = append(sites, dispatchSite{node: n, closure: lit})
+			}
+		case *ast.CallExpr:
+			if name := calleeName(n); name != "" && dispatchCallees.MatchString(name) {
+				for _, lit := range closureOperands(n) {
+					sites = append(sites, dispatchSite{node: n, closure: lit})
+				}
+			}
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	// All writes to local variables in the function, excluding writes inside
+	// the dispatched closures themselves (a closure may freely mutate what
+	// it owns; the hazard is the *other* goroutine writing).
+	writes := collectWrites(info, fd.Body)
+
+	for _, s := range sites {
+		enclosing := enclosingLoops(fd.Body, s.node)
+	vars:
+		for _, v := range capturedVars(info, s.closure) {
+			for _, w := range writes {
+				if w.obj != v || within(w.pos, s.closure.Pos(), s.closure.End()) {
+					continue
+				}
+				// Hazard 1: dispatch inside a loop, variable declared
+				// outside that loop, write anywhere inside the loop.
+				for _, loop := range enclosing {
+					if !within(v.Pos(), loop.Pos(), loop.End()) && within(w.pos, loop.Pos(), loop.End()) {
+						pass.Reportf(s.closure.Pos(), "closure dispatched asynchronously in a loop captures %s, which the loop writes (%s); pass it as an argument or use a per-task slot", v.Name(), pass.Fset.Position(w.pos))
+						continue vars
+					}
+				}
+				// Hazard 2: write after the dispatch point races the
+				// goroutine regardless of loops.
+				if w.pos > s.node.End() {
+					pass.Reportf(s.closure.Pos(), "closure dispatched asynchronously captures %s, which is written after the dispatch (%s); the goroutine races that write", v.Name(), pass.Fset.Position(w.pos))
+					continue vars
+				}
+			}
+		}
+	}
+}
+
+// closureOperands returns function literals dispatched by call: a direct
+// `func(){...}()` callee or literals passed as arguments.
+func closureOperands(call *ast.CallExpr) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		out = append(out, lit)
+	}
+	for _, a := range call.Args {
+		if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+			out = append(out, lit)
+		}
+	}
+	return out
+}
+
+// calleeName returns the bare name of the called function or method.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// write records one assignment to a local variable.
+type write struct {
+	obj *types.Var
+	pos token.Pos
+}
+
+// collectWrites finds assignments and ++/-- statements targeting plain
+// identifiers (element and field writes do not alias the variable itself).
+func collectWrites(info *types.Info, body *ast.BlockStmt) []write {
+	var out []write
+	record := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				out = append(out, write{obj: v, pos: id.Pos()})
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true // := declares, it does not race an earlier capture
+			}
+			for _, lhs := range n.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(n.X)
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingLoops returns the for/range statements containing target, from
+// outermost to innermost.
+func enclosingLoops(body *ast.BlockStmt, target ast.Node) []ast.Node {
+	var loops []ast.Node
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+			return true
+		}
+		stack = append(stack, n)
+		if n == target {
+			for _, s := range stack[:len(stack)-1] {
+				if isLoop(s) {
+					loops = append(loops, s)
+				}
+			}
+		}
+		return true
+	})
+	return loops
+}
+
+func isLoop(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		return true
+	}
+	return false
+}
+
+func within(pos, lo, hi token.Pos) bool { return pos >= lo && pos < hi }

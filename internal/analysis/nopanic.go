@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanic enforces the library's error-flow contract: no panic may be
+// reachable from an exported entry point. BEAGLE's reliability across
+// heterogeneous hardware rests on a uniform error-code discipline at the
+// kernel boundary — a Go panic escaping from UpdatePartials on a worker
+// goroutine kills the whole process, so validation failures must travel as
+// returned errors instead.
+//
+// The analyzer builds the package's static call graph (any reference to a
+// same-package function counts as an edge, so function values passed to
+// sort.Slice and friends are included) and reports every panic call that is
+// lexically inside, or transitively reachable from, an exported function or
+// method, or from a package-level variable initializer. A site can be waived
+// with a trailing or immediately-preceding comment
+//
+//	//beagle:allow panic <reason>
+//
+// and the reason is mandatory: a waiver without one is itself reported.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "no panic reachable from exported entry points; errors must be returned",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// decls maps each function object to its syntax; edges is the static
+	// reference graph between same-package functions.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	edges := map[*types.Func][]*types.Func{}
+	addRefs := func(from *types.Func, root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if to, ok := info.Uses[id].(*types.Func); ok {
+				if _, local := decls[to]; local && to != from {
+					edges[from] = append(edges[from], to)
+				}
+			}
+			return true
+		})
+	}
+	for obj, fd := range decls {
+		if fd.Body != nil {
+			addRefs(obj, fd.Body)
+		}
+	}
+
+	// Entry points: exported functions and methods, plus anything referenced
+	// from a package-level variable initializer (which runs unconditionally
+	// at import time).
+	reachable := map[*types.Func]bool{}
+	var mark func(fn *types.Func)
+	mark = func(fn *types.Func) {
+		if reachable[fn] {
+			return
+		}
+		reachable[fn] = true
+		for _, to := range edges[fn] {
+			mark(to)
+		}
+	}
+	for obj := range decls {
+		if obj.Exported() {
+			mark(obj)
+		}
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if to, ok := info.Uses[id].(*types.Func); ok {
+					if _, local := decls[to]; local {
+						mark(to)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Report reachable panic sites without a reasoned waiver.
+	for _, f := range pass.Files {
+		allows := fileAllowances(pass.Fset, f)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := info.Defs[fd.Name].(*types.Func)
+			if obj == nil || !reachable[obj] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+					return true
+				}
+				line := pass.Fset.Position(call.Pos()).Line
+				waived, hasReason := allowedAt(allows, "panic", line)
+				switch {
+				case !waived:
+					pass.Reportf(call.Pos(), "panic in %s is reachable from the package's exported API; return an error instead or waive with %s panic <reason>", obj.Name(), AllowDirective)
+				case !hasReason:
+					pass.Reportf(call.Pos(), "%s panic waiver needs a reason", AllowDirective)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

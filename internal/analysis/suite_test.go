@@ -1,0 +1,33 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gobeagle/internal/analysis"
+	"gobeagle/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over its fixture package under testdata/src/, which
+// seeds every violation class the analyzer must catch alongside the clean
+// patterns it must accept; the // want comments in the fixtures are the
+// expected-diagnostic oracle.
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.NoAlloc, "testdata/src/noalloc")
+}
+
+func TestNoPanic(t *testing.T) {
+	analysistest.Run(t, analysis.NoPanic, "testdata/src/nopanic")
+}
+
+func TestFlagExcl(t *testing.T) {
+	analysistest.Run(t, analysis.FlagExcl, "testdata/src/flagexcl")
+}
+
+func TestHazardCapture(t *testing.T) {
+	analysistest.Run(t, analysis.HazardCapture, "testdata/src/hazardcapture")
+}
+
+func TestAllocGuard(t *testing.T) {
+	analysistest.Run(t, analysis.AllocGuard, "testdata/src/allocguard")
+}

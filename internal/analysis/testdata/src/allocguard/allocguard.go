@@ -1,0 +1,29 @@
+// Package allocguard is the analyzer fixture: every exported
+// //beagle:noalloc function needs a testing.AllocsPerRun guard in the
+// package's tests. Guarded has one (see allocguard_test.go), Unguarded does
+// not, and the unexported helper is exempt.
+package allocguard
+
+//beagle:noalloc
+func Guarded(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+//beagle:noalloc
+func Unguarded(xs []float64) float64 { // want `Unguarded is //beagle:noalloc but no testing.AllocsPerRun guard`
+	var s float64
+	for _, v := range xs {
+		s += v * v
+	}
+	return s
+}
+
+// hidden is unexported: only reachable through annotated exported callers,
+// whose guards cover it.
+//
+//beagle:noalloc
+func hidden(a, b float64) float64 { return a*b + b }

@@ -1,0 +1,10 @@
+package allocguard
+
+import "testing"
+
+func TestGuardedAllocs(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if n := testing.AllocsPerRun(100, func() { Guarded(xs) }); n != 0 {
+		t.Fatalf("Guarded allocated %v times per run", n)
+	}
+}

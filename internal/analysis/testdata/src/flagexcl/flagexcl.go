@@ -1,0 +1,77 @@
+// Package flagexcl is the analyzer fixture: a miniature of the library's
+// Flags bitfield with a threading-selection subset, a String method that
+// forgets one constant, and construction sites that do and do not combine
+// mutually exclusive threading flags.
+package flagexcl
+
+import "strings"
+
+// Flags mirrors the shape of the library's public bitfield.
+type Flags uint64
+
+const (
+	FlagFutures Flags = 1 << iota
+	FlagThreadCreate
+	FlagThreadPool
+	FlagScalers
+	FlagHidden // want `FlagHidden is not rendered by Flags.String`
+)
+
+// threadingFlags is the mutual-exclusion set; its own definition ORs members
+// and must be exempt.
+const threadingFlags = FlagFutures | FlagThreadCreate | FlagThreadPool
+
+// String's name table deliberately omits FlagHidden.
+func (f Flags) String() string {
+	names := []struct {
+		bit  Flags
+		name string
+	}{
+		{FlagFutures, "FUTURES"},
+		{FlagThreadCreate, "THREAD_CREATE"},
+		{FlagThreadPool, "THREAD_POOL"},
+		{FlagScalers, "SCALERS"},
+	}
+	var parts []string
+	for _, fn := range names {
+		if f&fn.bit != 0 {
+			parts = append(parts, fn.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// BadSelect ORs two members of the threading set at a construction site.
+func BadSelect() Flags {
+	return FlagFutures | FlagThreadPool // want `combines two mutually exclusive threading flags`
+}
+
+// BadSelectVar seeds the same bug through an intermediate constant expression.
+func BadSelectVar() Flags {
+	f := FlagThreadCreate | FlagThreadPool | FlagScalers // want `combines two mutually exclusive threading flags`
+	return f
+}
+
+// GoodSelect combines one threading flag with orthogonal options.
+func GoodSelect() Flags {
+	return FlagThreadPool | FlagScalers
+}
+
+// ClearAll clears the whole threading set; the OR on the right of &^ is a
+// mask expression, not a selection, and must be exempt.
+func ClearAll(f Flags) Flags {
+	return f &^ (FlagFutures | FlagThreadCreate | FlagThreadPool)
+}
+
+// TestAny tests membership with &; also exempt.
+func TestAny(f Flags) bool {
+	return f&(FlagFutures|FlagThreadPool) != 0
+}
+
+// Mode has Flag* constants but no String method at all.
+type Mode uint8 // want `flag type Mode has Flag\* constants but no String method`
+
+const (
+	FlagModeRaw Mode = 1 << iota
+	FlagModeCooked
+)

@@ -1,0 +1,85 @@
+// Package hazardcapture is the analyzer fixture: closures handed to `go` or
+// to pool submit-style calls must not capture shared mutable locals. The
+// positive cases seed the two hazard classes; the negatives pin down the Go
+// 1.22 per-iteration and per-task-slot patterns the analyzer must accept.
+package hazardcapture
+
+import "sync"
+
+type pool struct{}
+
+func (p *pool) submit(task func()) { go task() }
+
+func sink(n int) { _ = n }
+
+// LoopShared dispatches a closure in a loop capturing a variable declared
+// outside the loop that the loop body writes: every dispatched goroutine
+// races the next iteration's write.
+func LoopShared(p *pool, items []int) int {
+	var last int
+	for _, it := range items {
+		last = it
+		p.submit(func() { // want `captures last, which the loop writes`
+			sink(last)
+		})
+	}
+	return last
+}
+
+// GoShared is the same hazard through a bare go statement.
+func GoShared(items []int) {
+	var wg sync.WaitGroup
+	var cur int
+	for _, it := range items {
+		cur = it
+		wg.Add(1)
+		go func() { // want `captures cur, which the loop writes`
+			defer wg.Done()
+			sink(cur)
+		}()
+	}
+	wg.Wait()
+}
+
+// WriteAfterDispatch captures a variable the function writes after the
+// dispatch point; the goroutine races that write with no loop involved.
+func WriteAfterDispatch(p *pool) int {
+	x := 1
+	p.submit(func() { // want `captures x, which is written after the dispatch`
+		sink(x)
+	})
+	x = 2
+	return x
+}
+
+// PerIteration captures the Go 1.22 per-iteration loop variable: each
+// dispatched closure owns its copy, which is safe.
+func PerIteration(p *pool, items []int) {
+	for _, it := range items {
+		p.submit(func() { sink(it) })
+	}
+}
+
+// PerSlot writes results through a per-task element, never assigning the
+// captured slice variable itself: safe.
+func PerSlot(p *pool, items []int) []int {
+	out := make([]int, len(items))
+	for i, it := range items {
+		p.submit(func() { out[i] = it * 2 })
+	}
+	return out
+}
+
+// ArgumentPassing hands the loop value over as a call argument instead of a
+// capture: safe even though the variable is declared outside the loop.
+func ArgumentPassing(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			sink(v)
+		}(it)
+	}
+	wg.Wait()
+}

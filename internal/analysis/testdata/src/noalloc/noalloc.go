@@ -1,0 +1,150 @@
+// Package noalloc is the analyzer fixture: each annotated function seeds one
+// class of allocating construct the analyzer must reject, and the clean
+// functions at the bottom pin down what it must accept.
+package noalloc
+
+import (
+	"fmt"
+	"time"
+)
+
+type point struct{ x, y int }
+
+//beagle:noalloc
+func UsesMake(n int) int {
+	xs := make([]int, n) // want `make allocates`
+	return len(xs)
+}
+
+//beagle:noalloc
+func UsesNew() int {
+	p := new(int) // want `new allocates`
+	return *p
+}
+
+//beagle:noalloc
+func UsesAppend(xs []int) []int {
+	xs = append(xs, 1) // want `append may grow and reallocate`
+	return xs
+}
+
+//beagle:noalloc
+func SliceLiteral() int {
+	xs := []int{1, 2, 3} // want `slice literal allocates`
+	return xs[0]
+}
+
+//beagle:noalloc
+func MapLiteral() int {
+	m := map[string]int{} // want `map literal allocates`
+	return len(m)
+}
+
+//beagle:noalloc
+func CompositeAddress() *point {
+	return &point{1, 2} // want `address of composite literal escapes`
+}
+
+//beagle:noalloc
+func Captures(n int) func() int {
+	return func() int { return n } // want `closure captures n and escapes`
+}
+
+//beagle:noalloc
+func Spawns() {
+	go cleanHelper() // want `go statement allocates a goroutine`
+}
+
+//beagle:noalloc
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//beagle:noalloc
+func ConcatAssign(s string) string {
+	s += "!" // want `string concatenation allocates`
+	return s
+}
+
+//beagle:noalloc
+func StringToBytes(s string) int {
+	b := []byte(s) // want `conversion allocates`
+	return len(b)
+}
+
+//beagle:noalloc
+func BytesToString(b []byte) int {
+	s := string(b) // want `conversion allocates`
+	return len(s)
+}
+
+//beagle:noalloc
+func ConvertsToInterface(n int) int {
+	v := any(n) // want `conversion to interface type any boxes its operand`
+	_, _ = v.(int)
+	return n
+}
+
+//beagle:noalloc
+func AssignsToInterface(n int) {
+	var x any
+	x = n // want `assignment boxes a concrete value into an interface`
+	_ = x
+}
+
+//beagle:noalloc
+func ReturnsInterface(n int) any {
+	return n // want `return boxes a concrete value into an interface result`
+}
+
+//beagle:noalloc
+func ArgBoxes(n int) {
+	takesAny(n) // want `argument boxes int into interface any`
+}
+
+//beagle:noalloc
+func CallsFmt() {
+	fmt.Println() // want `call to fmt.Println allocates`
+}
+
+//beagle:noalloc
+func CallsTimeNow() int64 {
+	return time.Now().UnixNano() // want `time.Now is forbidden`
+}
+
+//beagle:noalloc
+func CallsUnannotated() {
+	helper() // want `calls same-package helper, which is not`
+}
+
+// helper is deliberately not annotated.
+func helper() {}
+
+//beagle:noalloc
+func takesAny(v any) { _ = v }
+
+//beagle:noalloc
+func cleanHelper() {}
+
+// Clean exercises the constructs the analyzer must tolerate: arithmetic,
+// indexing, range over a parameter slice, element writes, nil interface
+// assignment, and calls to annotated same-package functions.
+//
+//beagle:noalloc
+func Clean(xs []float64, out []float64) float64 {
+	var sum float64
+	for i, v := range xs {
+		out[i] = v * 2
+		sum += v
+	}
+	cleanHelper()
+	var err error
+	err = nil
+	_ = err
+	return sum
+}
+
+// NotAnnotated may allocate freely; the analyzer must ignore it.
+func NotAnnotated(n int) []int {
+	return make([]int, n)
+}

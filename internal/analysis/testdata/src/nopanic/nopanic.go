@@ -1,0 +1,57 @@
+// Package nopanic is the analyzer fixture: panics reachable from the
+// exported API must be reported, panics in dead code must not, and waivers
+// must carry a reason.
+package nopanic
+
+// Exported panics directly: reachable by definition.
+func Exported(n int) int {
+	if n < 0 {
+		panic("negative input") // want `panic in Exported is reachable`
+	}
+	return n
+}
+
+// Outer reaches a panic transitively through an unexported helper.
+func Outer(n int) int { return inner(n) }
+
+func inner(n int) int {
+	if n == 0 {
+		panic("zero") // want `panic in inner is reachable`
+	}
+	return 1 / n
+}
+
+// unreached is referenced by nothing exported: its panic is not reported.
+func unreached() {
+	panic("dead code")
+}
+
+// table is a package-level initializer, which runs unconditionally at import
+// time, so the function it references is an entry point.
+var table = buildTable()
+
+func buildTable() []int {
+	panic("unimplemented") // want `panic in buildTable is reachable`
+}
+
+// NewThing shows the sanctioned escape hatch: a reasoned waiver.
+func NewThing(n int) int {
+	if n <= 0 {
+		//beagle:allow panic constructor invariant; all callers pass positive literals
+		panic("bad n")
+	}
+	return n
+}
+
+// Reasonless has a waiver with no justification, which is itself an error.
+func Reasonless() {
+	//beagle:allow panic
+	panic("unexplained") // want `waiver needs a reason`
+}
+
+// Trailing shows the same-line waiver form.
+func Trailing(err error) {
+	if err != nil {
+		panic(err) //beagle:allow panic test-only assertion helper; callers opt in to process death
+	}
+}

@@ -31,7 +31,9 @@ func naiveLogLikelihood(t *tree.Tree, m *substmodel.Model, rates *substmodel.Sit
 		per := make([][]float64, nc)
 		for c, r := range rates.Rates {
 			p := make([]float64, s*s)
-			ed.TransitionMatrix(n.Length*r, p)
+			if err := ed.TransitionMatrix(n.Length*r, p); err != nil {
+				panic(err)
+			}
 			per[c] = p
 		}
 		probs[n.Index] = per

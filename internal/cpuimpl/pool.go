@@ -35,6 +35,8 @@ func newWorkerPool(workers int, impl string) *workerPool {
 }
 
 // submit enqueues a task; it blocks only when the queue is full.
+//
+//beagle:noalloc
 func (p *workerPool) submit(job func()) { p.jobs <- job }
 
 // close stops the workers after draining queued tasks.

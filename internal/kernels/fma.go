@@ -9,11 +9,15 @@ import "math"
 // rounded operation.
 
 // fma is a generic fused multiply-add: round(a·b + c) in one step.
+//
+//beagle:noalloc
 func fma[T Real](a, b, c T) T {
 	return T(math.FMA(float64(a), float64(b), float64(c)))
 }
 
 // PartialsPartialsFMA is PartialsPartials with FMA accumulation.
+//
+//beagle:noalloc
 func PartialsPartialsFMA[T Real](dest, p1, m1, p2, m2 []T, d Dims, lo, hi int) {
 	s := d.StateCount
 	for c := 0; c < d.CategoryCount; c++ {
@@ -39,6 +43,8 @@ func PartialsPartialsFMA[T Real](dest, p1, m1, p2, m2 []T, d Dims, lo, hi int) {
 
 // PartialsPartialsEntryFMA is the GPU-style single-entry kernel with FMA
 // accumulation.
+//
+//beagle:noalloc
 func PartialsPartialsEntryFMA[T Real](dest, p1, m1, p2, m2 []T, d Dims, workItem int) {
 	s := d.StateCount
 	i := workItem % s
@@ -60,6 +66,8 @@ func PartialsPartialsEntryFMA[T Real](dest, p1, m1, p2, m2 []T, d Dims, workItem
 
 // StatesPartialsEntryFMA is the GPU-style single-entry states×partials
 // kernel with FMA accumulation.
+//
+//beagle:noalloc
 func StatesPartialsEntryFMA[T Real](dest []T, s1 []int32, m1 []T, p2, m2 []T, d Dims, workItem int) {
 	s := d.StateCount
 	i := workItem % s
@@ -83,6 +91,8 @@ func StatesPartialsEntryFMA[T Real](dest []T, s1 []int32, m1 []T, p2, m2 []T, d 
 }
 
 // StatesPartialsFMA is StatesPartials with FMA accumulation.
+//
+//beagle:noalloc
 func StatesPartialsFMA[T Real](dest []T, s1 []int32, m1 []T, p2, m2 []T, d Dims, lo, hi int) {
 	s := d.StateCount
 	for c := 0; c < d.CategoryCount; c++ {

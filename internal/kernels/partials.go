@@ -4,6 +4,8 @@ package kernels
 // two child partials buffers and their transition matrices. This is the
 // x86-style kernel: each (category, pattern) iteration loops over the full
 // state space (§VII-B2).
+//
+//beagle:noalloc
 func PartialsPartials[T Real](dest, p1, m1, p2, m2 []T, d Dims, lo, hi int) {
 	s := d.StateCount
 	for c := 0; c < d.CategoryCount; c++ {
@@ -29,6 +31,8 @@ func PartialsPartials[T Real](dest, p1, m1, p2, m2 []T, d Dims, lo, hi int) {
 
 // StatesPartials computes destination partials when the first child is a
 // compact-state tip and the second holds partials.
+//
+//beagle:noalloc
 func StatesPartials[T Real](dest []T, s1 []int32, m1 []T, p2, m2 []T, d Dims, lo, hi int) {
 	s := d.StateCount
 	for c := 0; c < d.CategoryCount; c++ {
@@ -56,6 +60,8 @@ func StatesPartials[T Real](dest []T, s1 []int32, m1 []T, p2, m2 []T, d Dims, lo
 
 // StatesStates computes destination partials when both children are
 // compact-state tips.
+//
+//beagle:noalloc
 func StatesStates[T Real](dest []T, s1 []int32, m1 []T, s2 []int32, m2 []T, d Dims, lo, hi int) {
 	s := d.StateCount
 	for c := 0; c < d.CategoryCount; c++ {
@@ -83,6 +89,8 @@ func StatesStates[T Real](dest []T, s1 []int32, m1 []T, s2 []int32, m2 []T, d Di
 // workItem = ((c·P)+p)·S + i. This is the GPU-style kernel with one logical
 // thread per partials entry (Fig. 2); the device framework launches it over
 // a global work size of C·P·S.
+//
+//beagle:noalloc
 func PartialsPartialsEntry[T Real](dest, p1, m1, p2, m2 []T, d Dims, workItem int) {
 	s := d.StateCount
 	i := workItem % s
@@ -104,6 +112,8 @@ func PartialsPartialsEntry[T Real](dest, p1, m1, p2, m2 []T, d Dims, workItem in
 
 // StatesPartialsEntry is the GPU-style single-entry variant of
 // StatesPartials.
+//
+//beagle:noalloc
 func StatesPartialsEntry[T Real](dest []T, s1 []int32, m1 []T, p2, m2 []T, d Dims, workItem int) {
 	s := d.StateCount
 	i := workItem % s
@@ -127,6 +137,8 @@ func StatesPartialsEntry[T Real](dest []T, s1 []int32, m1 []T, p2, m2 []T, d Dim
 }
 
 // StatesStatesEntry is the GPU-style single-entry variant of StatesStates.
+//
+//beagle:noalloc
 func StatesStatesEntry[T Real](dest []T, s1 []int32, m1 []T, s2 []int32, m2 []T, d Dims, workItem int) {
 	s := d.StateCount
 	i := workItem % s

@@ -7,6 +7,8 @@ package kernels
 
 // PartialsPartials4 is PartialsPartials specialized and unrolled for
 // StateCount == 4.
+//
+//beagle:noalloc
 func PartialsPartials4[T Real](dest, p1, m1, p2, m2 []T, d Dims, lo, hi int) {
 	for c := 0; c < d.CategoryCount; c++ {
 		m := m1[c*16 : c*16+16]
@@ -29,6 +31,8 @@ func PartialsPartials4[T Real](dest, p1, m1, p2, m2 []T, d Dims, lo, hi int) {
 
 // StatesPartials4 is StatesPartials specialized and unrolled for
 // StateCount == 4.
+//
+//beagle:noalloc
 func StatesPartials4[T Real](dest []T, s1 []int32, m1 []T, p2, m2 []T, d Dims, lo, hi int) {
 	for c := 0; c < d.CategoryCount; c++ {
 		m := m1[c*16 : c*16+16]
@@ -58,6 +62,8 @@ func StatesPartials4[T Real](dest []T, s1 []int32, m1 []T, p2, m2 []T, d Dims, l
 
 // StatesStates4 is StatesStates specialized and unrolled for
 // StateCount == 4.
+//
+//beagle:noalloc
 func StatesStates4[T Real](dest []T, s1 []int32, m1 []T, s2 []int32, m2 []T, d Dims, lo, hi int) {
 	for c := 0; c < d.CategoryCount; c++ {
 		m := m1[c*16 : c*16+16]

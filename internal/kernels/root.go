@@ -6,6 +6,8 @@ import "math"
 // patterns [lo, hi): site_p = Σ_c w_c · Σ_s π_s · L_root[c,p,s]. Results are
 // accumulated in double precision regardless of kernel precision, as BEAGLE's
 // integration kernels do.
+//
+//beagle:noalloc
 func SiteLikelihoods[T Real](out []float64, root []T, catWeights, freqs []float64, d Dims, lo, hi int) {
 	s := d.StateCount
 	for p := lo; p < hi; p++ {
@@ -27,6 +29,8 @@ func SiteLikelihoods[T Real](out []float64, root []T, catWeights, freqs []float6
 // Σ_p patternWeight_p · (log(site_p) + scale_p). cumScale may be nil when no
 // rescaling is active; otherwise it holds the accumulated per-pattern log
 // scale factors.
+//
+//beagle:noalloc
 func RootLogLikelihood(siteLik []float64, patternWeights, cumScale []float64, lo, hi int) float64 {
 	var lnL float64
 	for p := lo; p < hi; p++ {
@@ -44,6 +48,8 @@ func RootLogLikelihood(siteLik []float64, patternWeights, cumScale []float64, lo
 // child-side partials:
 // site_p = Σ_c w_c · Σ_i π_i · parent[c,p,i] · Σ_j m[c,i,j]·child[c,p,j].
 // This is the kernel behind CalculateEdgeLogLikelihoods.
+//
+//beagle:noalloc
 func EdgeSiteLikelihoods[T Real](out []float64, parent, child, m []T, catWeights, freqs []float64, d Dims, lo, hi int) {
 	s := d.StateCount
 	for p := lo; p < hi; p++ {
@@ -73,6 +79,8 @@ func EdgeSiteLikelihoods[T Real](out []float64, parent, child, m []T, catWeights
 // in scale[p]. Patterns whose maximum is zero are left unscaled with a zero
 // scale factor (their likelihood is genuinely zero). Rescaling keeps partials
 // within floating-point range on large trees, especially in single precision.
+//
+//beagle:noalloc
 func RescalePartials[T Real](partials []T, scale []float64, d Dims, lo, hi int) {
 	s := d.StateCount
 	for p := lo; p < hi; p++ {
@@ -103,6 +111,8 @@ func RescalePartials[T Real](partials []T, scale []float64, d Dims, lo, hi int) 
 // AccumulateScaleFactors sums the given per-pattern log scale factor buffers
 // into cum for patterns [lo, hi) — the kernel behind
 // AccumulateScaleFactors in the API.
+//
+//beagle:noalloc
 func AccumulateScaleFactors(cum []float64, factors [][]float64, lo, hi int) {
 	for p := lo; p < hi; p++ {
 		var sum float64

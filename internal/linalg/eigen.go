@@ -2,6 +2,7 @@ package linalg
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -183,12 +184,13 @@ func GeneralEigen(q *Matrix, pi []float64) (*EigenDecomposition, error) {
 	return ReversibleEigen(q, pi)
 }
 
-// TransitionMatrix fills p (length StateCount²) with P(t) = V·exp(Λt)·V⁻¹.
-// Small negative entries from round-off are clamped to zero.
-func (e *EigenDecomposition) TransitionMatrix(t float64, p []float64) {
+// TransitionMatrix fills p (length StateCount²) with P(t) = V·exp(Λt)·V⁻¹,
+// returning an error when the buffer length does not match. Small negative
+// entries from round-off are clamped to zero.
+func (e *EigenDecomposition) TransitionMatrix(t float64, p []float64) error {
 	n := e.StateCount
 	if len(p) != n*n {
-		panic("linalg: transition matrix buffer has wrong length")
+		return fmt.Errorf("linalg: transition matrix buffer has length %d, want %d", len(p), n*n)
 	}
 	exp := make([]float64, n)
 	for k, v := range e.Values {
@@ -206,4 +208,5 @@ func (e *EigenDecomposition) TransitionMatrix(t float64, p []float64) {
 			p[i*n+j] = s
 		}
 	}
+	return nil
 }

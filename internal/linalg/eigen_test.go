@@ -28,9 +28,9 @@ func TestSymmetricEigenDiagonal(t *testing.T) {
 	for i, v := range vals {
 		lam.Data[i*3+i] = v
 	}
-	recon := Mul(Mul(vecs, lam), vecs.Transpose())
-	if MaxAbsDiff(recon, a) > 1e-10 {
-		t.Fatalf("reconstruction error %v", MaxAbsDiff(recon, a))
+	recon := mustMul(mustMul(vecs, lam), vecs.Transpose())
+	if mustDiff(recon, a) > 1e-10 {
+		t.Fatalf("reconstruction error %v", mustDiff(recon, a))
 	}
 }
 
@@ -72,12 +72,12 @@ func TestSymmetricEigenReconstructionProperty(t *testing.T) {
 		for i, v := range vals {
 			lam.Data[i*n+i] = v
 		}
-		recon := Mul(Mul(vecs, lam), vecs.Transpose())
-		if MaxAbsDiff(recon, a) > 1e-8 {
+		recon := mustMul(mustMul(vecs, lam), vecs.Transpose())
+		if mustDiff(recon, a) > 1e-8 {
 			return false
 		}
 		// Orthonormal eigenvectors.
-		return MaxAbsDiff(Mul(vecs.Transpose(), vecs), Identity(n)) < 1e-8
+		return mustDiff(mustMul(vecs.Transpose(), vecs), Identity(n)) < 1e-8
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
@@ -128,12 +128,12 @@ func TestReversibleEigenReconstructsQ(t *testing.T) {
 		for i, v := range ed.Values {
 			lam.Data[i*n+i] = v
 		}
-		recon := Mul(Mul(ed.Vectors, lam), ed.InverseVectors)
-		if d := MaxAbsDiff(recon, q); d > 1e-8 {
+		recon := mustMul(mustMul(ed.Vectors, lam), ed.InverseVectors)
+		if d := mustDiff(recon, q); d > 1e-8 {
 			t.Fatalf("n=%d reconstruction error %v", n, d)
 		}
 		// V·V⁻¹ == I.
-		if d := MaxAbsDiff(Mul(ed.Vectors, ed.InverseVectors), Identity(n)); d > 1e-8 {
+		if d := mustDiff(mustMul(ed.Vectors, ed.InverseVectors), Identity(n)); d > 1e-8 {
 			t.Fatalf("n=%d inverse-vector error %v", n, d)
 		}
 	}
@@ -149,7 +149,7 @@ func TestTransitionMatrixProperties(t *testing.T) {
 	p := make([]float64, 16)
 
 	// P(0) == I.
-	ed.TransitionMatrix(0, p)
+	mustTransition(ed, 0, p)
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
 			want := 0.0
@@ -164,7 +164,7 @@ func TestTransitionMatrixProperties(t *testing.T) {
 
 	// Rows of P(t) sum to 1 and entries are in [0,1].
 	for _, tt := range []float64{0.01, 0.1, 1, 10} {
-		ed.TransitionMatrix(tt, p)
+		mustTransition(ed, tt, p)
 		for i := 0; i < 4; i++ {
 			var row float64
 			for j := 0; j < 4; j++ {
@@ -181,7 +181,7 @@ func TestTransitionMatrixProperties(t *testing.T) {
 	}
 
 	// P(t) converges to the stationary distribution as t grows.
-	ed.TransitionMatrix(500, p)
+	mustTransition(ed, 500, p)
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
 			if math.Abs(p[i*4+j]-pi[j]) > 1e-6 {
@@ -205,11 +205,11 @@ func TestTransitionMatrixSemigroupProperty(t *testing.T) {
 		ps := make([]float64, 16)
 		pu := make([]float64, 16)
 		psu := make([]float64, 16)
-		ed.TransitionMatrix(s, ps)
-		ed.TransitionMatrix(u, pu)
-		ed.TransitionMatrix(s+u, psu)
-		prod := Mul(NewMatrixFrom(4, 4, ps), NewMatrixFrom(4, 4, pu))
-		return MaxAbsDiff(prod, NewMatrixFrom(4, 4, psu)) < 1e-9
+		mustTransition(ed, s, ps)
+		mustTransition(ed, u, pu)
+		mustTransition(ed, s+u, psu)
+		prod := mustMul(NewMatrixFrom(4, 4, ps), NewMatrixFrom(4, 4, pu))
+		return mustDiff(prod, NewMatrixFrom(4, 4, psu)) < 1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)

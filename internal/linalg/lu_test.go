@@ -66,8 +66,8 @@ func TestInverseIdentityProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return MaxAbsDiff(Mul(a, inv), Identity(n)) < 1e-9 &&
-			MaxAbsDiff(Mul(inv, a), Identity(n)) < 1e-9
+		return mustDiff(mustMul(a, inv), Identity(n)) < 1e-9 &&
+			mustDiff(mustMul(inv, a), Identity(n)) < 1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
@@ -97,7 +97,7 @@ func TestSolveMatchesInverse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	x2 := inv.MulVec(b)
+	x2 := mustMulVec(inv, b)
 	for i := range x1 {
 		if math.Abs(x1[i]-x2[i]) > 1e-10 {
 			t.Fatalf("Solve and Inverse disagree: %v vs %v", x1, x2)

@@ -21,9 +21,13 @@ type Matrix struct {
 	Data       []float64 // len == Rows*Cols
 }
 
-// NewMatrix returns a zero matrix with the given dimensions.
+// NewMatrix returns a zero matrix with the given dimensions. Dimensions are
+// model state counts fixed at compile time by every caller (4, 20, 61), so
+// a non-positive dimension is an unreachable programmer error, not a
+// recoverable condition.
 func NewMatrix(rows, cols int) *Matrix {
 	if rows <= 0 || cols <= 0 {
+		//beagle:allow panic constructor invariant; every call site passes static positive model dimensions
 		panic(fmt.Sprintf("linalg: invalid matrix dimensions %dx%d", rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
@@ -33,6 +37,7 @@ func NewMatrix(rows, cols int) *Matrix {
 // rows*cols elements.
 func NewMatrixFrom(rows, cols int, data []float64) *Matrix {
 	if len(data) != rows*cols {
+		//beagle:allow panic constructor invariant; callers pass literals or buffers sized from the same dimensions
 		panic(fmt.Sprintf("linalg: data length %d does not match %dx%d", len(data), rows, cols))
 	}
 	m := NewMatrix(rows, cols)
@@ -60,10 +65,10 @@ func (m *Matrix) Clone() *Matrix {
 	return NewMatrixFrom(m.Rows, m.Cols, m.Data)
 }
 
-// Mul returns the matrix product a·b.
-func Mul(a, b *Matrix) *Matrix {
+// Mul returns the matrix product a·b, or an error on a dimension mismatch.
+func Mul(a, b *Matrix) (*Matrix, error) {
 	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	out := NewMatrix(a.Rows, b.Cols)
 	for i := 0; i < a.Rows; i++ {
@@ -79,13 +84,14 @@ func Mul(a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
-// MulVec returns the matrix-vector product m·v.
-func (m *Matrix) MulVec(v []float64) []float64 {
+// MulVec returns the matrix-vector product m·v, or an error when the vector
+// length does not match the matrix columns.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
 	if len(v) != m.Cols {
-		panic(fmt.Sprintf("linalg: vector length %d does not match matrix cols %d", len(v), m.Cols))
+		return nil, fmt.Errorf("linalg: vector length %d does not match matrix cols %d", len(v), m.Cols)
 	}
 	out := make([]float64, m.Rows)
 	for i := 0; i < m.Rows; i++ {
@@ -96,7 +102,7 @@ func (m *Matrix) MulVec(v []float64) []float64 {
 		}
 		out[i] = s
 	}
-	return out
+	return out, nil
 }
 
 // Transpose returns mᵀ.
@@ -119,10 +125,10 @@ func (m *Matrix) Scale(s float64) *Matrix {
 }
 
 // MaxAbsDiff returns the largest absolute elementwise difference between a
-// and b, which must have equal dimensions.
-func MaxAbsDiff(a, b *Matrix) float64 {
+// and b, or an error when their dimensions differ.
+func MaxAbsDiff(a, b *Matrix) (float64, error) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
-		panic("linalg: dimension mismatch in MaxAbsDiff")
+		return 0, fmt.Errorf("linalg: dimension mismatch %dx%d vs %dx%d in MaxAbsDiff", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	var max float64
 	for i, av := range a.Data {
@@ -131,5 +137,5 @@ func MaxAbsDiff(a, b *Matrix) float64 {
 			max = d
 		}
 	}
-	return max
+	return max, nil
 }

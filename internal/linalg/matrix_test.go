@@ -39,12 +39,12 @@ func TestNewMatrixFromCopies(t *testing.T) {
 
 func TestIdentityMul(t *testing.T) {
 	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
-	got := Mul(Identity(2), a)
-	if MaxAbsDiff(got, a) != 0 {
+	got := mustMul(Identity(2), a)
+	if mustDiff(got, a) != 0 {
 		t.Fatalf("I·A != A: %v", got.Data)
 	}
-	got = Mul(a, Identity(3))
-	if MaxAbsDiff(got, a) != 0 {
+	got = mustMul(a, Identity(3))
+	if mustDiff(got, a) != 0 {
 		t.Fatalf("A·I != A: %v", got.Data)
 	}
 }
@@ -52,7 +52,7 @@ func TestIdentityMul(t *testing.T) {
 func TestMulKnown(t *testing.T) {
 	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
 	b := NewMatrixFrom(2, 2, []float64{5, 6, 7, 8})
-	got := Mul(a, b)
+	got := mustMul(a, b)
 	want := []float64{19, 22, 43, 50}
 	for i := range want {
 		if got.Data[i] != want[i] {
@@ -61,18 +61,21 @@ func TestMulKnown(t *testing.T) {
 	}
 }
 
-func TestMulDimensionMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on dimension mismatch")
-		}
-	}()
-	Mul(NewMatrix(2, 3), NewMatrix(2, 3))
+func TestMulDimensionMismatchError(t *testing.T) {
+	if _, err := Mul(NewMatrix(2, 3), NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error on dimension mismatch")
+	}
+	if _, err := NewMatrix(2, 3).MulVec([]float64{1}); err == nil {
+		t.Fatal("expected error on vector length mismatch")
+	}
+	if _, err := MaxAbsDiff(NewMatrix(2, 3), NewMatrix(3, 2)); err == nil {
+		t.Fatal("expected error on shape mismatch")
+	}
 }
 
 func TestMulVec(t *testing.T) {
 	m := NewMatrixFrom(2, 3, []float64{1, 0, 2, -1, 3, 1})
-	got := m.MulVec([]float64{3, -2, 1})
+	got := mustMulVec(m, []float64{3, -2, 1})
 	want := []float64{5, -8}
 	for i := range want {
 		if got[i] != want[i] {
@@ -105,7 +108,7 @@ func TestTransposeInvolution(t *testing.T) {
 		for i := range m.Data {
 			m.Data[i] = rng.NormFloat64()
 		}
-		return MaxAbsDiff(m.Transpose().Transpose(), m) == 0
+		return mustDiff(m.Transpose().Transpose(), m) == 0
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -136,9 +139,9 @@ func TestMulAssociativityProperty(t *testing.T) {
 			return m
 		}
 		a, b, c := mk(), mk(), mk()
-		left := Mul(Mul(a, b), c)
-		right := Mul(a, Mul(b, c))
-		return MaxAbsDiff(left, right) < 1e-9
+		left := mustMul(mustMul(a, b), c)
+		right := mustMul(a, mustMul(b, c))
+		return mustDiff(left, right) < 1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
@@ -148,7 +151,7 @@ func TestMulAssociativityProperty(t *testing.T) {
 func TestMaxAbsDiff(t *testing.T) {
 	a := NewMatrixFrom(1, 3, []float64{1, 2, 3})
 	b := NewMatrixFrom(1, 3, []float64{1, 2.5, 2})
-	if d := MaxAbsDiff(a, b); math.Abs(d-1) > 1e-15 {
+	if d := mustDiff(a, b); math.Abs(d-1) > 1e-15 {
 		t.Fatalf("MaxAbsDiff got %v want 1", d)
 	}
 }

@@ -1,0 +1,35 @@
+package linalg
+
+// Test-only wrappers over the error-returning API. Dimension mismatches in
+// these tests are always construction bugs in the test itself, so the
+// helpers panic, which the testing runtime reports with a full stack.
+
+func mustMul(a, b *Matrix) *Matrix {
+	m, err := Mul(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func mustMulVec(m *Matrix, v []float64) []float64 {
+	out, err := m.MulVec(v)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func mustDiff(a, b *Matrix) float64 {
+	d, err := MaxAbsDiff(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func mustTransition(e *EigenDecomposition, t float64, p []float64) {
+	if err := e.TransitionMatrix(t, p); err != nil {
+		panic(err)
+	}
+}

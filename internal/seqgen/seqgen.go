@@ -57,7 +57,9 @@ func Simulate(rng *rand.Rand, t *tree.Tree, m *substmodel.Model, rates *substmod
 		per := make([][]float64, nc)
 		for c, r := range rates.Rates {
 			p := make([]float64, n*n)
-			ed.TransitionMatrix(node.Length*r, p)
+			if err := ed.TransitionMatrix(node.Length*r, p); err != nil {
+				return nil, err
+			}
 			per[c] = p
 		}
 		probs[node.Index] = per

@@ -142,7 +142,9 @@ func TestGY94TransitionMatrixRowsSumToOne(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := make([]float64, 61*61)
-	ed.TransitionMatrix(0.3, p)
+	if err := ed.TransitionMatrix(0.3, p); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 61; i++ {
 		var row float64
 		for j := 0; j < 61; j++ {

@@ -73,7 +73,9 @@ func TestJC69TransitionProbabilityClosedForm(t *testing.T) {
 	}
 	p := make([]float64, 16)
 	for _, bt := range []float64{0.05, 0.2, 1.0, 3.0} {
-		ed.TransitionMatrix(bt, p)
+		if err := ed.TransitionMatrix(bt, p); err != nil {
+			t.Fatal(err)
+		}
 		same := 0.25 + 0.75*math.Exp(-4*bt/3)
 		diff := 0.25 - 0.25*math.Exp(-4*bt/3)
 		for i := 0; i < 4; i++ {
@@ -133,7 +135,11 @@ func TestGTRReducesToJC(t *testing.T) {
 		t.Fatal(err)
 	}
 	jc := NewJC69()
-	if d := linalg.MaxAbsDiff(m.Q, jc.Q); d > 1e-12 {
+	d, err := linalg.MaxAbsDiff(m.Q, jc.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-12 {
 		t.Fatalf("uniform GTR differs from JC69 by %v", d)
 	}
 }
@@ -226,8 +232,19 @@ func TestGTRAA(t *testing.T) {
 	for i, v := range ed.Values {
 		lam.Data[i*20+i] = v
 	}
-	recon := linalg.Mul(linalg.Mul(ed.Vectors, lam), ed.InverseVectors)
-	if d := linalg.MaxAbsDiff(recon, m.Q); d > 1e-8 {
+	vl, err := linalg.Mul(ed.Vectors, lam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := linalg.Mul(vl, ed.InverseVectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := linalg.MaxAbsDiff(recon, m.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-8 {
 		t.Fatalf("eigen reconstruction error %v", d)
 	}
 }

@@ -30,7 +30,8 @@ func NewJC69() *Model {
 		[]float64{1, 1, 1, 1, 1, 1},
 		[]float64{0.25, 0.25, 0.25, 0.25})
 	if err != nil {
-		panic(err) // static inputs cannot fail
+		//beagle:allow panic literal JC69 rates and frequencies are valid by construction; NewGeneralReversible cannot reject them
+		panic(err)
 	}
 	return m
 }

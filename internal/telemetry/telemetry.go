@@ -100,6 +100,7 @@ type kernelMetric struct {
 	buckets [histBuckets]atomic.Uint64
 }
 
+//beagle:noalloc
 func (m *kernelMetric) record(ops int, d time.Duration) {
 	ns := d.Nanoseconds()
 	if ns < 0 {
@@ -189,11 +190,15 @@ func (c *Collector) SetEnabled(on bool) {
 
 // Enabled reports whether the collector is recording. This is the guard on
 // every instrumented hot path: one atomic load, no allocation.
+//
+//beagle:noalloc
 func (c *Collector) Enabled() bool {
 	return c != nil && c.enabled.Load()
 }
 
 // NextBatch returns a fresh 1-based batch identifier for level tracing.
+//
+//beagle:noalloc
 func (c *Collector) NextBatch() uint64 {
 	if c == nil {
 		return 0
@@ -203,6 +208,8 @@ func (c *Collector) NextBatch() uint64 {
 
 // Record adds one timed invocation covering `ops` logical operations to a
 // kernel family's counters and histogram.
+//
+//beagle:noalloc
 func (c *Collector) Record(k Kernel, ops int, d time.Duration) {
 	if c == nil || !c.enabled.Load() || k < 0 || k >= numKernels {
 		return
@@ -212,6 +219,8 @@ func (c *Collector) Record(k Kernel, ops int, d time.Duration) {
 
 // AddFlops accumulates effective floating-point operations (from
 // internal/flops) into the throughput accounting.
+//
+//beagle:noalloc
 func (c *Collector) AddFlops(f float64) {
 	if c == nil || !c.enabled.Load() || !(f > 0) {
 		return

@@ -283,6 +283,7 @@ func TestDisabledPathAllocatesNothing(t *testing.T) {
 			}
 			col.Record(KernelRoot, 1, time.Microsecond)
 			col.AddFlops(1)
+			col.NextBatch()
 		})
 		if allocs != 0 {
 			t.Errorf("%s path allocates %.1f per run, want 0", name, allocs)
@@ -322,5 +323,23 @@ func BenchmarkEnabledRecord(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.Record(KernelPartials, 4, time.Microsecond)
+	}
+}
+
+// TestEnabledHotPathAllocatesNothing extends the zero-allocation guarantee
+// to the enabled path: counters and histograms are plain atomics, so turning
+// telemetry on must add time, never garbage.
+func TestEnabledHotPathAllocatesNothing(t *testing.T) {
+	c := New()
+	c.SetEnabled(true)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if c.Enabled() {
+			c.Record(KernelPartials, 4, time.Microsecond)
+			c.AddFlops(128)
+		}
+		c.NextBatch()
+	})
+	if allocs != 0 {
+		t.Errorf("enabled path allocates %.1f per run, want 0", allocs)
 	}
 }

@@ -29,9 +29,16 @@ func (t *Tree) Newick() string {
 	return b.String()
 }
 
+// maxNewickDepth bounds parser recursion. Biological trees are no deeper
+// than their tip count (a few thousand at the extreme), while adversarial
+// inputs — a megabyte of '(' — would otherwise drive the recursive-descent
+// parser to gigabyte stack growth before any syntax error surfaces.
+const maxNewickDepth = 10000
+
 type newickParser struct {
-	s   string
-	pos int
+	s     string
+	pos   int
+	depth int
 }
 
 // ParseNewick parses a rooted, strictly binary Newick tree with branch
@@ -67,6 +74,11 @@ func (p *newickParser) skipSpace() {
 }
 
 func (p *newickParser) parseNode() (*Node, int, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxNewickDepth {
+		return nil, 0, fmt.Errorf("tree: Newick nesting exceeds %d levels", maxNewickDepth)
+	}
 	p.skipSpace()
 	if p.pos >= len(p.s) {
 		return nil, 0, fmt.Errorf("tree: unexpected end of Newick string")

@@ -1,0 +1,78 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseNewick drives the recursive-descent parser with arbitrary input.
+// Any input may be rejected, but an accepted input must yield a well-formed
+// binary tree whose Newick rendering is a stable fixed point: render → parse
+// → render reproduces the same string with the same tip count.
+func FuzzParseNewick(f *testing.F) {
+	seeds := []string{
+		"(A:0.1,B:0.2);",
+		"((A:0.1,B:0.2):0.05,C:0.3);",
+		"((A,B),(C,D));",
+		"(A:1e-3,(B:0.5,C:+0.25):2E2);",
+		" ( A : 0.1 , B : 0.2 ) ; ",
+		"((((((t1:0.1,t2:0.1):0.1,t3:0.1):0.1,t4:0.1):0.1,t5:0.1):0.1,t6:0.1):0.1,t7:0.1);",
+		"(A,B)label:0.5;",
+		"(A:0.1,B:-0.2);",
+		"(,);",
+		"(A:0.1,B:0.2",
+		"))((",
+		"(A:abc,B:0.2);",
+		"(A:1e999,B:1);",
+		strings.Repeat("(", 64),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := ParseNewick(s)
+		if err != nil {
+			return // rejected input: the only requirement is not crashing
+		}
+		if tr.TipCount < 2 {
+			t.Fatalf("accepted tree with %d tips from %q", tr.TipCount, s)
+		}
+		out := tr.Newick()
+		tr2, err := ParseNewick(out)
+		if err != nil {
+			t.Fatalf("rendering of accepted input does not reparse: %q -> %q: %v", s, out, err)
+		}
+		if tr2.TipCount != tr.TipCount {
+			t.Fatalf("tip count changed across round trip: %d -> %d (input %q)", tr.TipCount, tr2.TipCount, s)
+		}
+		if out2 := tr2.Newick(); out2 != out {
+			t.Fatalf("rendering is not a fixed point: %q -> %q (input %q)", out, out2, s)
+		}
+	})
+}
+
+// TestParseNewickDepthLimit pins the recursion guard: pathological nesting
+// must fail fast with an error instead of growing the stack without bound.
+func TestParseNewickDepthLimit(t *testing.T) {
+	if _, err := ParseNewick(strings.Repeat("(", maxNewickDepth+50)); err == nil ||
+		!strings.Contains(err.Error(), "nesting exceeds") {
+		t.Fatalf("deep nesting not rejected by the depth guard: %v", err)
+	}
+
+	// A deep but legal caterpillar tree below the limit must still parse.
+	var b strings.Builder
+	const depth = 2000
+	b.WriteString(strings.Repeat("(", depth))
+	b.WriteString("t0:1")
+	for i := 1; i <= depth; i++ {
+		b.WriteString(",x:1):1")
+	}
+	b.WriteByte(';')
+	tr, err := ParseNewick(b.String())
+	if err != nil {
+		t.Fatalf("legal deep tree rejected: %v", err)
+	}
+	if tr.TipCount != depth+1 {
+		t.Fatalf("deep tree tip count = %d, want %d", tr.TipCount, depth+1)
+	}
+}

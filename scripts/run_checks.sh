@@ -23,6 +23,12 @@ section() {
 section "go vet ./..."
 go -C "$ROOT" vet ./...
 
+# beaglevet: the repo's own analyzer suite (internal/analysis) — noalloc,
+# nopanic, flagexcl, hazardcapture, allocguard. Stock vet already ran above,
+# so -stock=false avoids running it twice.
+section "beaglevet ./..."
+go -C "$ROOT" run ./cmd/beaglevet -stock=false ./...
+
 section "go test -race -short ./..."
 go -C "$ROOT" test -race -short -timeout "$TIMEOUT" ./...
 
