@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	beaglebench -experiment table3|table3hybrid|table4|table5|fig4|fig4smoke|fig5|fig6|all [-json DIR]
+//	beaglebench -experiment table3|table3hybrid|table4|table5|fig4|fig4smoke|fig5|fig6|rebalance|all [-json DIR]
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table3, table3hybrid, table4, table5, fig4, fig4smoke, fig5, fig6, or all")
+	experiment := flag.String("experiment", "all", "table3, table3hybrid, table4, table5, fig4, fig4smoke, fig5, fig6, rebalance, or all")
 	jsonDir := flag.String("json", "", "directory to also write machine-readable BENCH_<experiment>.json reports")
 	flag.Parse()
 
@@ -38,10 +38,11 @@ func main() {
 		"fig4smoke":    runFig4Smoke,
 		"fig5":         runFig5,
 		"fig6":         runFig6,
+		"rebalance":    runRebalance,
 	}
 	// fig4smoke is a reduced sweep for CI smoke runs; "all" keeps the paper's
-	// full experiment set.
-	order := []string{"table3", "table3hybrid", "table4", "table5", "fig4", "fig5", "fig6"}
+	// full experiment set plus the §IX rebalance demonstration.
+	order := []string{"table3", "table3hybrid", "table4", "table5", "fig4", "fig5", "fig6", "rebalance"}
 
 	selected := []string{}
 	if *experiment == "all" {
@@ -151,4 +152,15 @@ func runFig6(w io.Writer) (benchmarks.Report, error) {
 	}
 	benchmarks.PrintFig6(w, rows)
 	return benchmarks.Fig6Report(rows), nil
+}
+
+// runRebalance demonstrates adaptive multi-device rebalancing (§IX) against
+// a synthetically 4x-slowed backend.
+func runRebalance(w io.Writer) (benchmarks.Report, error) {
+	rows, err := benchmarks.Rebalance()
+	if err != nil {
+		return benchmarks.Report{}, err
+	}
+	benchmarks.PrintRebalance(w, rows)
+	return benchmarks.RebalanceReport(rows), nil
 }

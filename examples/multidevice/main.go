@@ -82,6 +82,55 @@ func main() {
 		log.Fatalf("results disagree: %v vs %v", multiLnL, refLnL)
 	}
 	fmt.Println("single-resource and multi-device results agree")
+
+	// Adaptive rebalancing: FlagRebalance makes the instance time every
+	// backend and migrate pattern ranges toward the measured throughput
+	// optimum. Repeated batches (an MCMC or ML search workload) let the
+	// split converge; Stats exposes per-backend slices and the events.
+	rcfg := cfg
+	rcfg.Flags |= gobeagle.FlagRebalance | gobeagle.FlagTelemetry
+	rcfg.RebalanceInterval = 3
+	adaptive, err := gobeagle.NewMultiDeviceInstance(rcfg, []int{0, gpu1.ID, gpu2.ID}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer adaptive.Finalize()
+	adaptiveLnL := evaluate(adaptive, tr, model, rates, ps)
+	sched := tr.FullSchedule()
+	ops := operations(sched.Ops)
+	for batch := 0; batch < 12; batch++ {
+		if err := adaptive.UpdatePartials(ops); err != nil {
+			log.Fatal(err)
+		}
+	}
+	finalLnL, err := adaptive.CalculateRootLogLikelihoods(sched.Root, gobeagle.None)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if math.Abs(finalLnL-adaptiveLnL) > 1e-9*math.Abs(adaptiveLnL) {
+		log.Fatalf("rebalancing changed the result: %v vs %v", finalLnL, adaptiveLnL)
+	}
+
+	stats := adaptive.Stats()
+	fmt.Printf("adaptive         [%s]\n  lnL = %.6f (unchanged across %d rebalances, %d patterns migrated)\n",
+		adaptive.Implementation(), finalLnL, stats.Rebalances, stats.PatternsMigrated)
+	for i, b := range stats.Backends {
+		fmt.Printf("  backend %d: patterns [%d,%d) — %.0f pattern-ops/s measured\n",
+			i, b.Lo, b.Hi, b.Throughput)
+	}
+}
+
+// operations converts a tree schedule to the public operation list.
+func operations(scheduled []tree.Op) []gobeagle.Operation {
+	ops := make([]gobeagle.Operation, len(scheduled))
+	for i, op := range scheduled {
+		ops[i] = gobeagle.Operation{
+			Destination: op.Dest, DestScaleWrite: gobeagle.None, DestScaleRead: gobeagle.None,
+			Child1: op.Child1, Child1Matrix: op.Child1Mat,
+			Child2: op.Child2, Child2Matrix: op.Child2Mat,
+		}
+	}
+	return ops
 }
 
 // evaluate performs one complete likelihood evaluation on an instance.
@@ -117,15 +166,7 @@ func evaluate(inst *gobeagle.Instance, tr *tree.Tree, model *substmodel.Model,
 	if err := inst.UpdateTransitionMatrices(0, mats, lens); err != nil {
 		log.Fatal(err)
 	}
-	ops := make([]gobeagle.Operation, len(sched.Ops))
-	for i, op := range sched.Ops {
-		ops[i] = gobeagle.Operation{
-			Destination: op.Dest, DestScaleWrite: gobeagle.None, DestScaleRead: gobeagle.None,
-			Child1: op.Child1, Child1Matrix: op.Child1Mat,
-			Child2: op.Child2, Child2Matrix: op.Child2Mat,
-		}
-	}
-	if err := inst.UpdatePartials(ops); err != nil {
+	if err := inst.UpdatePartials(operations(sched.Ops)); err != nil {
 		log.Fatal(err)
 	}
 	lnL, err := inst.CalculateRootLogLikelihoods(sched.Root, gobeagle.None)

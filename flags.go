@@ -42,6 +42,12 @@ const (
 	// accounting, and scheduler level traces, read through Instance.Stats.
 	// Collection can also be toggled later with Instance.EnableTelemetry.
 	FlagTelemetry
+	// FlagRebalance enables adaptive load rebalancing on multi-device
+	// instances: per-backend throughput is measured every UpdatePartials
+	// batch and the pattern partition is migrated between backends when the
+	// measured split has drifted past a hysteresis threshold (§IX). Ignored
+	// by single-resource instances.
+	FlagRebalance
 )
 
 // threadingFlags lists the mutually exclusive CPU threading selections.
@@ -67,6 +73,7 @@ func (f Flags) String() string {
 		{FlagKernelGPU, "KERNEL_GPU"},
 		{FlagKernelX86, "KERNEL_X86"},
 		{FlagTelemetry, "TELEMETRY"},
+		{FlagRebalance, "REBALANCE"},
 	}
 	var out []string
 	for _, n := range names {

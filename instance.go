@@ -67,6 +67,10 @@ type Config struct {
 	// MinPatternsForThreading overrides the minimum pattern count for
 	// pattern-level CPU threading (0 = the paper's 512).
 	MinPatternsForThreading int
+	// RebalanceInterval is the number of UpdatePartials batches between
+	// adaptive rebalance checks on multi-device instances created with
+	// FlagRebalance (0 = the default interval). Ignored otherwise.
+	RebalanceInterval int
 }
 
 // Instance is a likelihood-computation instance bound to one resource and

@@ -1,0 +1,136 @@
+package accelimpl
+
+import (
+	"math/rand"
+	"testing"
+
+	"gobeagle/internal/device"
+	"gobeagle/internal/engine"
+	"gobeagle/internal/seqgen"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/tree"
+)
+
+// TestAccelMigrateRoundTrip detaches a pattern span from a fully loaded
+// accelerator engine and re-attaches it: every migrated device buffer
+// (partials, compact tip states, cumulative scale factors, pattern weights)
+// must restore bit-identically, verified through the recomputed per-pattern
+// likelihoods.
+func TestAccelMigrateRoundTrip(t *testing.T) {
+	for _, vc := range []variantCase{
+		{"CUDA on Quadro P5000", CUDA, "Quadro P5000", device.CUDA},
+		{"OpenCL-GPU on Radeon R9 Nano", OpenCLGPU, "Radeon R9 Nano", device.OpenCL},
+	} {
+		t.Run(vc.name, func(t *testing.T) {
+			device.ResetPlatforms()
+			rng := rand.New(rand.NewSource(77))
+			tr, _ := tree.Random(rng, 6, 0.2)
+			m, _ := substmodel.NewHKY85(2, []float64{0.3, 0.2, 0.25, 0.25})
+			rates, _ := substmodel.GammaRates(0.6, 2)
+			align, _ := seqgen.Simulate(rng, tr, m, rates, 200)
+			ps := seqgen.CompressPatterns(align)
+
+			dev, err := device.FindDevice(vc.fw, vc.devName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := New(testConfig(tr, 4, ps.PatternCount(), 2, false), vc.variant, dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			// Scaled evaluation populates per-op and cumulative scale buffers,
+			// so the migration carries every per-pattern buffer kind.
+			driveEngine(t, e, tr, m, rates, ps, true, true)
+			sched := tr.FullSchedule()
+			cum := len(sched.Ops)
+			want, err := e.SiteLogLikelihoods(sched.Root, cum)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			mig := e.(engine.PatternMigrator)
+			for _, fromHigh := range []bool{true, false} {
+				span := ps.PatternCount() / 3
+				blk, err := mig.DetachPatterns(fromHigh, span)
+				if err != nil {
+					t.Fatalf("DetachPatterns(fromHigh=%v): %v", fromHigh, err)
+				}
+				if blk.Patterns != span {
+					t.Fatalf("block spans %d patterns, want %d", blk.Patterns, span)
+				}
+				// The shrunk engine must still compute, over its kept range.
+				kept, err := e.SiteLogLikelihoods(sched.Root, cum)
+				if err != nil {
+					t.Fatalf("shrunk engine: %v", err)
+				}
+				off := 0
+				if fromHigh {
+					if len(kept) != len(want)-span {
+						t.Fatalf("shrunk engine has %d patterns", len(kept))
+					}
+				} else {
+					off = span
+				}
+				for i := range kept {
+					if kept[i] != want[i+off] {
+						t.Fatalf("site %d diverged on shrunk engine", i)
+					}
+				}
+				if err := mig.AttachPatterns(fromHigh, blk); err != nil {
+					t.Fatalf("AttachPatterns(atHigh=%v): %v", fromHigh, err)
+				}
+				got, err := e.SiteLogLikelihoods(sched.Root, cum)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("site %d log likelihood %v, want %v after round trip", i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAccelMigrateErrors pins the guard conditions on the device-backed
+// migration.
+func TestAccelMigrateErrors(t *testing.T) {
+	device.ResetPlatforms()
+	rng := rand.New(rand.NewSource(78))
+	tr, _ := tree.Random(rng, 4, 0.2)
+	m, _ := substmodel.NewHKY85(2, []float64{0.3, 0.2, 0.25, 0.25})
+	rates, _ := substmodel.GammaRates(0.6, 2)
+	align, _ := seqgen.Simulate(rng, tr, m, rates, 60)
+	ps := seqgen.CompressPatterns(align)
+
+	dev, err := device.FindDevice(device.CUDA, "Quadro P5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(testConfig(tr, 4, ps.PatternCount(), 2, false), CUDA, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	driveEngine(t, e, tr, m, rates, ps, true, false)
+	mig := e.(engine.PatternMigrator)
+	if _, err := mig.DetachPatterns(true, 0); err == nil {
+		t.Fatal("DetachPatterns accepted n=0")
+	}
+	if _, err := mig.DetachPatterns(true, ps.PatternCount()); err == nil {
+		t.Fatal("DetachPatterns drained the engine")
+	}
+	if err := mig.AttachPatterns(true, nil); err == nil {
+		t.Fatal("AttachPatterns accepted a nil block")
+	}
+	blk, err := mig.DetachPatterns(true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk.Weights = blk.Weights[:1]
+	if err := mig.AttachPatterns(true, blk); err == nil {
+		t.Fatal("AttachPatterns accepted mismatched weights")
+	}
+}

@@ -1,0 +1,260 @@
+package benchmarks
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"gobeagle/internal/cpuimpl"
+	"gobeagle/internal/engine"
+	"gobeagle/internal/multiimpl"
+)
+
+// The rebalance experiment demonstrates the adaptive multi-device
+// rebalancer (§IX's dynamic load balancing) under a controlled throughput
+// skew: two backends run the same serial CPU implementation, but one is
+// wrapped to sleep a deterministic per-pattern-operation delay making it 4×
+// slower. Starting from an even split — the pathology the precision-blind
+// default shares used to produce — the experiment measures the batch wall
+// time of the static even split, of the adaptive engine after it has
+// rebalanced, and of the oracle static 4:1 split, and reports when the
+// adaptive engine converged and how many patterns it migrated.
+
+// RebalanceRow is one phase of the rebalance experiment.
+type RebalanceRow struct {
+	Phase     string        // "static-even", "adaptive", "oracle-4to1"
+	Split     string        // final pattern split, e.g. "819:205"
+	BatchWall time.Duration // fastest measured UpdatePartials batch
+	Speedup   float64       // vs the static even split
+	// Adaptive-phase extras (zero elsewhere).
+	ConvergedAtBatch int
+	PatternsMigrated int
+}
+
+// rebalanceUnit is the synthetic per-pattern-operation delay of the fast
+// backend; the slow backend sleeps 4× this. The delays dwarf the real
+// kernel time, so the measured optimum is the 4:1 oracle.
+const rebalanceUnit = time.Microsecond
+
+// slowedEngine wraps a real engine with a deterministic per-pattern-op
+// sleep, and forwards pattern migration while tracking its share.
+type slowedEngine struct {
+	engine.Engine
+	patterns int
+	perOp    time.Duration
+}
+
+func (s *slowedEngine) UpdatePartials(ops []engine.Operation) error {
+	time.Sleep(time.Duration(s.patterns*len(ops)) * s.perOp)
+	return s.Engine.UpdatePartials(ops)
+}
+
+func (s *slowedEngine) DetachPatterns(fromHigh bool, n int) (*engine.PatternBlock, error) {
+	blk, err := s.Engine.(engine.PatternMigrator).DetachPatterns(fromHigh, n)
+	if err == nil {
+		s.patterns -= n
+	}
+	return blk, err
+}
+
+func (s *slowedEngine) AttachPatterns(atHigh bool, blk *engine.PatternBlock) error {
+	err := s.Engine.(engine.PatternMigrator).AttachPatterns(atHigh, blk)
+	if err == nil {
+		s.patterns += blk.Patterns
+	}
+	return err
+}
+
+func slowedBuilder(perOp time.Duration) multiimpl.Builder {
+	return func(sub engine.Config) (engine.Engine, error) {
+		e, err := cpuimpl.New(sub, cpuimpl.Serial)
+		if err != nil {
+			return nil, err
+		}
+		return &slowedEngine{Engine: e, patterns: sub.Dims.PatternCount, perOp: perOp}, nil
+	}
+}
+
+// loadEngine pushes the problem's data into an internal engine.
+func (p *Problem) loadEngine(e engine.Engine) error {
+	ed, err := p.Model.Eigen()
+	if err != nil {
+		return err
+	}
+	steps := []error{
+		e.SetEigenDecomposition(0, ed.Values, ed.Vectors.Data, ed.InverseVectors.Data),
+		e.SetCategoryRates(p.Rates.Rates),
+		e.SetCategoryWeights(p.Rates.Weights),
+		e.SetStateFrequencies(p.Model.Frequencies),
+		e.SetPatternWeights(p.Patterns.Weights),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return err
+		}
+	}
+	for i := 0; i < p.Tree.TipCount; i++ {
+		if err := e.SetTipStates(i, p.Patterns.TipStates(i)); err != nil {
+			return err
+		}
+	}
+	sched := p.Tree.FullSchedule()
+	mats := make([]int, len(sched.Matrices))
+	lens := make([]float64, len(sched.Matrices))
+	for i, mu := range sched.Matrices {
+		mats[i], lens[i] = mu.Matrix, mu.Length
+	}
+	return e.UpdateTransitionMatrices(0, mats, lens)
+}
+
+// fastestBatch measures the fastest of k UpdatePartials batches.
+func fastestBatch(e engine.Engine, ops []engine.Operation, k int) (time.Duration, error) {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < k; i++ {
+		t0 := time.Now()
+		if err := e.UpdatePartials(ops); err != nil {
+			return 0, err
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func splitString(e *multiimpl.Engine) string {
+	lo, hi := e.Ranges()
+	out := ""
+	for i := range lo {
+		if i > 0 {
+			out += ":"
+		}
+		out += fmt.Sprintf("%d", hi[i]-lo[i])
+	}
+	return out
+}
+
+// Rebalance runs the adaptive-rebalancing experiment and returns one row per
+// phase.
+func Rebalance() ([]RebalanceRow, error) {
+	p, err := NewProblem(99, 16, 4, 1024, 4)
+	if err != nil {
+		return nil, err
+	}
+	cfg := engine.Config{
+		TipCount:        p.Tree.TipCount,
+		PartialsBuffers: p.Tree.NodeCount(),
+		MatrixBuffers:   p.Tree.NodeCount(),
+		EigenBuffers:    1,
+		ScaleBuffers:    0,
+		Dims:            p.Dims,
+	}
+	builders := func() []multiimpl.Builder {
+		return []multiimpl.Builder{slowedBuilder(rebalanceUnit), slowedBuilder(4 * rebalanceUnit)}
+	}
+	ops := p.EngineOps()
+	const measure = 5
+
+	run := func(e *multiimpl.Engine, warm int) (time.Duration, error) {
+		if err := p.loadEngine(e); err != nil {
+			return 0, err
+		}
+		for i := 0; i < warm; i++ {
+			if err := e.UpdatePartials(ops); err != nil {
+				return 0, err
+			}
+		}
+		return fastestBatch(e, ops, measure)
+	}
+
+	// Phase 1: the static even split — what precision-blind default shares
+	// gave a CPU+GPU pair in double precision.
+	even, err := multiimpl.New(cfg, builders(), []float64{1, 1})
+	if err != nil {
+		return nil, err
+	}
+	defer even.Close()
+	evenWall, err := run(even, 1)
+	if err != nil {
+		return nil, err
+	}
+	rows := []RebalanceRow{{Phase: "static-even", Split: splitString(even), BatchWall: evenWall, Speedup: 1}}
+
+	// Phase 2: adaptive — same even start, rebalancer on.
+	adaptive, err := multiimpl.NewBalanced(cfg, builders(), []float64{1, 1},
+		multiimpl.Options{Rebalance: true, Interval: 2})
+	if err != nil {
+		return nil, err
+	}
+	defer adaptive.Close()
+	adaptiveWall, err := run(adaptive, 10)
+	if err != nil {
+		return nil, err
+	}
+	stats, _ := adaptive.RebalanceStats()
+	converged := 0
+	if len(stats.Events) > 0 {
+		converged = stats.Events[0].Batch
+	}
+	rows = append(rows, RebalanceRow{
+		Phase: "adaptive", Split: splitString(adaptive), BatchWall: adaptiveWall,
+		Speedup:          float64(evenWall) / float64(adaptiveWall),
+		ConvergedAtBatch: converged,
+		PatternsMigrated: stats.PatternsMigrated,
+	})
+
+	// Phase 3: the oracle static 4:1 split.
+	oracle, err := multiimpl.New(cfg, builders(), []float64{4, 1})
+	if err != nil {
+		return nil, err
+	}
+	defer oracle.Close()
+	oracleWall, err := run(oracle, 1)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, RebalanceRow{
+		Phase: "oracle-4to1", Split: splitString(oracle), BatchWall: oracleWall,
+		Speedup: float64(evenWall) / float64(oracleWall),
+	})
+	return rows, nil
+}
+
+// PrintRebalance renders the experiment as a table.
+func PrintRebalance(w io.Writer, rows []RebalanceRow) {
+	fmt.Fprintln(w, "Adaptive multi-device rebalancing with a synthetic 4x-slowed backend (§IX)")
+	fmt.Fprintln(w, "two serial CPU backends, 1024 patterns, 16 tips, 4 categories")
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tsplit\tbatch wall\tspeedup vs even")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%.2f\n", r.Phase, r.Split, r.BatchWall.Round(10*time.Microsecond), r.Speedup)
+	}
+	tw.Flush()
+	for _, r := range rows {
+		if r.Phase == "adaptive" && r.ConvergedAtBatch > 0 {
+			fmt.Fprintf(w, "adaptive engine first rebalanced after batch %d, migrating %d patterns in total\n",
+				r.ConvergedAtBatch, r.PatternsMigrated)
+		}
+	}
+}
+
+// RebalanceReport converts the experiment to the machine-readable form.
+func RebalanceReport(rows []RebalanceRow) Report {
+	rep := Report{
+		Experiment:  "rebalance",
+		Description: "adaptive multi-device rebalancing vs static splits with a synthetic 4x-slowed backend",
+		Unit:        "speedup",
+	}
+	for _, r := range rows {
+		rep.Records = append(rep.Records, Record{
+			Device:         "synthetic 4x-skewed pair",
+			Implementation: r.Phase,
+			Strategy:       "multi-device",
+			Model:          "nucleotide", Precision: "double",
+			States: 4, Patterns: 1024, Categories: 4, Tips: 16,
+			Speedup: r.Speedup,
+		})
+	}
+	return rep
+}

@@ -105,6 +105,18 @@ var (
 	}
 )
 
+// PeakGFLOPS returns the theoretical peak throughput at the given precision:
+// the single-precision peak, derated by DPRatio for double precision. Every
+// consumer of the peak — the roofline model and default load-balancing
+// shares alike — must go through this so a 1/32-DP-ratio consumer GPU is
+// never weighted by its single-precision figure in a double-precision run.
+func (d *Descriptor) PeakGFLOPS(single bool) float64 {
+	if single {
+		return d.PeakSPGFLOPS
+	}
+	return d.PeakSPGFLOPS * d.DPRatio
+}
+
 // LocalMemPerPattern returns the local-memory bytes one pattern of a
 // likelihood work-group consumes (child partials staging for both children),
 // used to derive the per-device patterns-per-work-group limit that §VII-B1

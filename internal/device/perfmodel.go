@@ -47,10 +47,7 @@ func (q *Queue) modelKernel(c Cost, paddedItems, usefulItems int) time.Duration 
 	flops := c.Flops * padRatio
 	bytes := c.Bytes * padRatio
 
-	peak := d.PeakSPGFLOPS
-	if !q.single {
-		peak *= d.DPRatio
-	}
+	peak := d.PeakGFLOPS(q.single)
 	eff := c.Efficiency
 	if eff <= 0 || eff > 1 {
 		eff = 1

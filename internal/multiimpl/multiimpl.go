@@ -10,6 +10,11 @@
 // execute on all backends concurrently, and likelihood reductions gather
 // partial results. Because patterns are independent in the likelihood
 // function, the partitioned computation is exact.
+//
+// When rebalancing is enabled the engine additionally measures each
+// backend's realized throughput and migrates boundary pattern spans between
+// neighbors whenever the measured split has drifted far enough from the
+// configured one (see rebalance.go).
 package multiimpl
 
 import (
@@ -30,15 +35,62 @@ type Builder func(sub engine.Config) (engine.Engine, error)
 
 // Engine is a single logical instance spanning multiple backends.
 type Engine struct {
-	cfg    engine.Config
-	subs   []engine.Engine
+	cfg  engine.Config
+	subs []engine.Engine
+
+	// mu serializes every engine call. The library contract already forbids
+	// concurrent mutation of one instance, but the rebalancer moves pattern
+	// spans between sub-engines mid-stream, so the engine enforces the
+	// serialization itself: the end of an UpdatePartials batch under mu is
+	// the safe barrier at which repartitioning happens.
+	mu     sync.Mutex
 	lo, hi []int // pattern range per backend
+	reb    *rebalancer
+}
+
+// partition splits p patterns into contiguous per-backend ranges sized
+// proportionally to shares, with a 1-pattern floor per backend. It requires
+// len(shares) >= 1, every share > 0 and p >= len(shares); the returned
+// ranges exactly cover [0, p).
+func partition(p int, shares []float64) (lo, hi []int) {
+	n := len(shares)
+	var total float64
+	for _, s := range shares {
+		total += s
+	}
+	lo = make([]int, n)
+	hi = make([]int, n)
+	var acc float64
+	prev := 0
+	for i := 0; i < n; i++ {
+		acc += shares[i]
+		h := int(float64(p)*acc/total + 0.5)
+		if i == n-1 {
+			h = p
+		}
+		if h <= prev {
+			h = prev + 1
+		}
+		if h > p-(n-1-i) {
+			h = p - (n - 1 - i)
+		}
+		lo[i], hi[i] = prev, h
+		prev = h
+	}
+	return lo, hi
 }
 
 // New creates a multi-device engine. shares give the relative throughput of
 // each backend (nil for equal shares); patterns are partitioned
 // proportionally, each backend receiving at least one pattern.
 func New(cfg engine.Config, builders []Builder, shares []float64) (*Engine, error) {
+	return NewBalanced(cfg, builders, shares, Options{})
+}
+
+// NewBalanced creates a multi-device engine with adaptive rebalancing
+// options. With opts.Rebalance set, every backend must support pattern
+// migration (engine.PatternMigrator).
+func NewBalanced(cfg engine.Config, builders []Builder, shares []float64, opts Options) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -55,37 +107,18 @@ func New(cfg engine.Config, builders []Builder, shares []float64) (*Engine, erro
 	if len(shares) != n {
 		return nil, fmt.Errorf("multiimpl: %d shares for %d backends", len(shares), n)
 	}
-	var total float64
 	for _, s := range shares {
 		if s <= 0 {
 			return nil, errors.New("multiimpl: shares must be positive")
 		}
-		total += s
 	}
 	p := cfg.Dims.PatternCount
 	if p < n {
 		return nil, fmt.Errorf("multiimpl: %d patterns cannot be split across %d backends", p, n)
 	}
 
-	e := &Engine{cfg: cfg, lo: make([]int, n), hi: make([]int, n)}
-	// Proportional contiguous partition with a 1-pattern floor.
-	var acc float64
-	prev := 0
-	for i := 0; i < n; i++ {
-		acc += shares[i]
-		hi := int(float64(p)*acc/total + 0.5)
-		if i == n-1 {
-			hi = p
-		}
-		if hi <= prev {
-			hi = prev + 1
-		}
-		if hi > p-(n-1-i) {
-			hi = p - (n - 1 - i)
-		}
-		e.lo[i], e.hi[i] = prev, hi
-		prev = hi
-	}
+	e := &Engine{cfg: cfg}
+	e.lo, e.hi = partition(p, shares)
 	for i, b := range builders {
 		sub := cfg
 		sub.Dims.PatternCount = e.hi[i] - e.lo[i]
@@ -102,11 +135,22 @@ func New(cfg engine.Config, builders []Builder, shares []float64) (*Engine, erro
 		}
 		e.subs = append(e.subs, eng)
 	}
+	if opts.Rebalance {
+		for i, sub := range e.subs {
+			if _, ok := sub.(engine.PatternMigrator); !ok {
+				e.Close()
+				return nil, fmt.Errorf("multiimpl: backend %d (%s) does not support pattern migration", i, sub.Name())
+			}
+		}
+		e.reb = newRebalancer(n, opts)
+	}
 	return e, nil
 }
 
 // Name lists the backend implementations.
 func (e *Engine) Name() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	s := "Multi["
 	for i, sub := range e.subs {
 		if i > 0 {
@@ -119,22 +163,24 @@ func (e *Engine) Name() string {
 
 // Ranges returns each backend's pattern range, for tests and diagnostics.
 func (e *Engine) Ranges() (lo, hi []int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return append([]int(nil), e.lo...), append([]int(nil), e.hi...)
 }
 
-// Close closes every backend, returning the first error.
+// Close closes every backend, joining all errors.
 func (e *Engine) Close() error {
-	var first error
-	for _, s := range e.subs {
-		if err := s.Close(); err != nil && first == nil {
-			first = err
-		}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	errs := make([]error, len(e.subs))
+	for i, s := range e.subs {
+		errs[i] = s.Close()
 	}
-	return first
+	return errors.Join(errs...)
 }
 
-// parallel runs f for every backend concurrently and returns the first
-// error.
+// parallel runs f for every backend concurrently and joins the errors. The
+// caller must hold e.mu.
 func (e *Engine) parallel(f func(i int, sub engine.Engine) error) error {
 	errs := make([]error, len(e.subs))
 	var wg sync.WaitGroup
@@ -146,16 +192,13 @@ func (e *Engine) parallel(f func(i int, sub engine.Engine) error) error {
 		}(i, sub)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // SetTipStates scatters compact states across backends.
 func (e *Engine) SetTipStates(buf int, states []int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if len(states) != e.cfg.Dims.PatternCount {
 		return fmt.Errorf("multiimpl: tip states length %d, want %d", len(states), e.cfg.Dims.PatternCount)
 	}
@@ -166,6 +209,8 @@ func (e *Engine) SetTipStates(buf int, states []int) error {
 
 // SetTipPartials scatters per-pattern tip partials.
 func (e *Engine) SetTipPartials(buf int, partials []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	s := e.cfg.Dims.StateCount
 	if len(partials) != e.cfg.Dims.PatternCount*s {
 		return fmt.Errorf("multiimpl: tip partials length %d, want %d", len(partials), e.cfg.Dims.PatternCount*s)
@@ -178,6 +223,8 @@ func (e *Engine) SetTipPartials(buf int, partials []float64) error {
 // SetPartials scatters a full partials buffer (slicing every category
 // block).
 func (e *Engine) SetPartials(buf int, partials []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	d := e.cfg.Dims
 	if len(partials) != d.PartialsLen() {
 		return fmt.Errorf("multiimpl: partials length %d, want %d", len(partials), d.PartialsLen())
@@ -195,6 +242,8 @@ func (e *Engine) SetPartials(buf int, partials []float64) error {
 
 // GetPartials gathers a partials buffer from the backends.
 func (e *Engine) GetPartials(buf int) ([]float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	d := e.cfg.Dims
 	out := make([]float64, d.PartialsLen())
 	err := e.parallel(func(i int, sub engine.Engine) error {
@@ -217,6 +266,8 @@ func (e *Engine) GetPartials(buf int) ([]float64, error) {
 
 // SetEigenDecomposition broadcasts to every backend.
 func (e *Engine) SetEigenDecomposition(slot int, values, vectors, inverseVectors []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.parallel(func(_ int, sub engine.Engine) error {
 		return sub.SetEigenDecomposition(slot, values, vectors, inverseVectors)
 	})
@@ -224,6 +275,8 @@ func (e *Engine) SetEigenDecomposition(slot int, values, vectors, inverseVectors
 
 // SetCategoryRates broadcasts to every backend.
 func (e *Engine) SetCategoryRates(rates []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.parallel(func(_ int, sub engine.Engine) error {
 		return sub.SetCategoryRates(rates)
 	})
@@ -231,6 +284,8 @@ func (e *Engine) SetCategoryRates(rates []float64) error {
 
 // SetCategoryWeights broadcasts to every backend.
 func (e *Engine) SetCategoryWeights(weights []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.parallel(func(_ int, sub engine.Engine) error {
 		return sub.SetCategoryWeights(weights)
 	})
@@ -238,6 +293,8 @@ func (e *Engine) SetCategoryWeights(weights []float64) error {
 
 // SetStateFrequencies broadcasts to every backend.
 func (e *Engine) SetStateFrequencies(freqs []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.parallel(func(_ int, sub engine.Engine) error {
 		return sub.SetStateFrequencies(freqs)
 	})
@@ -245,6 +302,8 @@ func (e *Engine) SetStateFrequencies(freqs []float64) error {
 
 // SetPatternWeights scatters per-pattern weights.
 func (e *Engine) SetPatternWeights(weights []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if len(weights) != e.cfg.Dims.PatternCount {
 		return fmt.Errorf("multiimpl: %d pattern weights, want %d", len(weights), e.cfg.Dims.PatternCount)
 	}
@@ -255,6 +314,8 @@ func (e *Engine) SetPatternWeights(weights []float64) error {
 
 // SetTransitionMatrix broadcasts an explicit matrix.
 func (e *Engine) SetTransitionMatrix(matrix int, values []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.parallel(func(_ int, sub engine.Engine) error {
 		return sub.SetTransitionMatrix(matrix, values)
 	})
@@ -263,12 +324,16 @@ func (e *Engine) SetTransitionMatrix(matrix int, values []float64) error {
 // GetTransitionMatrix reads from the first backend (matrices are
 // replicated).
 func (e *Engine) GetTransitionMatrix(matrix int) ([]float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.subs[0].GetTransitionMatrix(matrix)
 }
 
 // UpdateTransitionMatrices broadcasts; every backend computes the same
 // matrices (data parallelism is across patterns, not branches).
 func (e *Engine) UpdateTransitionMatrices(eigenSlot int, matrices []int, edgeLengths []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var start time.Time
 	if e.cfg.Telemetry.Enabled() {
 		start = time.Now()
@@ -284,17 +349,37 @@ func (e *Engine) UpdateTransitionMatrices(eigenSlot int, matrices []int, edgeLen
 
 // UpdatePartials executes the operation list on every backend concurrently
 // — each over its own pattern slice. This is the load-balanced execution of
-// §IX.
+// §IX. With rebalancing enabled it also times each backend and, at interval
+// boundaries, repartitions the patterns to match measured throughput.
 func (e *Engine) UpdatePartials(ops []engine.Operation) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	tel := e.cfg.Telemetry
 	var start time.Time
 	if tel.Enabled() {
 		tel.NextBatch()
 		start = time.Now()
 	}
-	err := e.parallel(func(_ int, sub engine.Engine) error {
-		return sub.UpdatePartials(ops)
-	})
+	var err error
+	if e.reb != nil {
+		elapsed := make([]time.Duration, len(e.subs))
+		err = e.parallel(func(i int, sub engine.Engine) error {
+			t0 := time.Now()
+			err := sub.UpdatePartials(ops)
+			elapsed[i] = time.Since(t0)
+			return err
+		})
+		if err == nil {
+			for i := range e.subs {
+				e.reb.Observe(i, (e.hi[i]-e.lo[i])*len(ops), elapsed[i].Seconds())
+			}
+			err = e.maybeRebalance()
+		}
+	} else {
+		err = e.parallel(func(_ int, sub engine.Engine) error {
+			return sub.UpdatePartials(ops)
+		})
+	}
 	if err == nil && !start.IsZero() {
 		tel.Record(telemetry.KernelPartials, len(ops), time.Since(start))
 		tel.AddFlops(flops.PartialsOp(e.cfg.Dims) * float64(len(ops)))
@@ -304,6 +389,8 @@ func (e *Engine) UpdatePartials(ops []engine.Operation) error {
 
 // ResetScaleFactors broadcasts.
 func (e *Engine) ResetScaleFactors(scaleBuf int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.parallel(func(_ int, sub engine.Engine) error {
 		return sub.ResetScaleFactors(scaleBuf)
 	})
@@ -312,6 +399,8 @@ func (e *Engine) ResetScaleFactors(scaleBuf int) error {
 // AccumulateScaleFactors broadcasts; each backend accumulates its own
 // pattern slice.
 func (e *Engine) AccumulateScaleFactors(scaleBufs []int, cumBuf int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.parallel(func(_ int, sub engine.Engine) error {
 		return sub.AccumulateScaleFactors(scaleBufs, cumBuf)
 	})
@@ -320,6 +409,8 @@ func (e *Engine) AccumulateScaleFactors(scaleBufs []int, cumBuf int) error {
 // CalculateRootLogLikelihoods sums the backends' pattern-slice log
 // likelihoods (patterns are independent, so the partition is exact).
 func (e *Engine) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var start time.Time
 	if e.cfg.Telemetry.Enabled() {
 		start = time.Now()
@@ -345,6 +436,8 @@ func (e *Engine) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float64,
 
 // CalculateEdgeLogLikelihoods sums across backends.
 func (e *Engine) CalculateEdgeLogLikelihoods(parentBuf, childBuf, matrix, cumScaleBuf int) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var start time.Time
 	if e.cfg.Telemetry.Enabled() {
 		start = time.Now()
@@ -370,6 +463,8 @@ func (e *Engine) CalculateEdgeLogLikelihoods(parentBuf, childBuf, matrix, cumSca
 
 // UpdateTransitionDerivatives broadcasts to every backend.
 func (e *Engine) UpdateTransitionDerivatives(eigenSlot int, d1Matrices, d2Matrices []int, edgeLengths []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.parallel(func(_ int, sub engine.Engine) error {
 		return sub.UpdateTransitionDerivatives(eigenSlot, d1Matrices, d2Matrices, edgeLengths)
 	})
@@ -378,6 +473,8 @@ func (e *Engine) UpdateTransitionDerivatives(eigenSlot int, d1Matrices, d2Matric
 // CalculateEdgeDerivatives sums the backends' pattern-slice contributions:
 // the log likelihood and both derivatives are sums over patterns.
 func (e *Engine) CalculateEdgeDerivatives(parentBuf, childBuf, matrix, d1Matrix, d2Matrix, cumScaleBuf int) (float64, float64, float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	lnLs := make([]float64, len(e.subs))
 	d1s := make([]float64, len(e.subs))
 	d2s := make([]float64, len(e.subs))
@@ -400,6 +497,8 @@ func (e *Engine) CalculateEdgeDerivatives(parentBuf, childBuf, matrix, d1Matrix,
 
 // SiteLogLikelihoods gathers per-pattern log likelihoods in pattern order.
 func (e *Engine) SiteLogLikelihoods(rootBuf, cumScaleBuf int) ([]float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make([]float64, e.cfg.Dims.PatternCount)
 	err := e.parallel(func(i int, sub engine.Engine) error {
 		site, err := sub.SiteLogLikelihoods(rootBuf, cumScaleBuf)

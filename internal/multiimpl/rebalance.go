@@ -1,0 +1,284 @@
+package multiimpl
+
+import (
+	"fmt"
+
+	"gobeagle/internal/engine"
+)
+
+// This file implements the adaptive rebalancer: the step from the paper's
+// statically partitioned multi-device execution to the dynamically load
+// balanced execution its conclusion (§IX) calls for. The multi-device engine
+// times every backend's share of each UpdatePartials batch and folds the
+// measurements into per-backend EWMA throughput estimates
+// (pattern-operations per second). Every Interval batches it derives the
+// throughput-proportional target partition; when the predicted batch-time
+// speedup of moving to that partition clears the hysteresis Threshold, it
+// migrates the boundary pattern spans between neighboring sub-engines via
+// the engines' PatternMigrator capability and adopts the new partition. The
+// batch boundary — under the engine mutex, with every backend quiescent — is
+// the safe barrier the migration requires.
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultInterval is the number of UpdatePartials batches between
+	// rebalance checks.
+	DefaultInterval = 10
+	// DefaultThreshold is the predicted batch-time speedup a repartition
+	// must clear before any patterns move (hysteresis: small drifts are
+	// never worth the migration traffic).
+	DefaultThreshold = 1.05
+	// DefaultAlpha is the EWMA smoothing factor for throughput estimates.
+	DefaultAlpha = 0.3
+
+	// maxEvents bounds the retained rebalance event history.
+	maxEvents = 32
+)
+
+// Options configures adaptive rebalancing for NewBalanced.
+type Options struct {
+	// Rebalance enables measurement and repartitioning. Off, the engine
+	// behaves exactly like the statically partitioned one.
+	Rebalance bool
+	// Interval is the number of batches between rebalance checks
+	// (default DefaultInterval).
+	Interval int
+	// Threshold is the predicted speedup required before repartitioning
+	// (default DefaultThreshold).
+	Threshold float64
+	// Alpha is the EWMA smoothing factor in (0, 1] (default DefaultAlpha).
+	Alpha float64
+}
+
+// RebalanceEvent records one executed repartition.
+type RebalanceEvent struct {
+	// Batch is the 1-based UpdatePartials batch after which the
+	// repartition ran.
+	Batch int
+	// OldHi and NewHi are the partition boundaries before and after.
+	OldHi, NewHi []int
+	// Migrated is the total number of patterns that moved.
+	Migrated int
+	// PredictedSpeedup is the modeled batch-time ratio that justified the
+	// move.
+	PredictedSpeedup float64
+}
+
+// RebalanceStats is a snapshot of the rebalancer's state for telemetry.
+type RebalanceStats struct {
+	// Batches is the number of UpdatePartials batches observed.
+	Batches int
+	// Rebalances is the number of executed repartitions.
+	Rebalances int
+	// PatternsMigrated is the total number of patterns moved across all
+	// repartitions.
+	PatternsMigrated int
+	// Throughput is the current EWMA estimate per backend, in
+	// pattern-operations per second.
+	Throughput []float64
+	// Lo and Hi are the current partition boundaries, taken atomically with
+	// the rest of the snapshot.
+	Lo, Hi []int
+	// Events is the retained repartition history (most recent last,
+	// bounded).
+	Events []RebalanceEvent
+}
+
+// rebalancer holds the measurement and decision state. All access happens
+// under the owning Engine's mutex.
+type rebalancer struct {
+	interval  int
+	threshold float64
+	alpha     float64
+
+	batch      int
+	ewma       []float64 // pattern-ops per second, per backend
+	seeded     []bool
+	rebalances int
+	migrated   int
+	events     []RebalanceEvent
+}
+
+func newRebalancer(n int, opts Options) *rebalancer {
+	r := &rebalancer{
+		interval:  opts.Interval,
+		threshold: opts.Threshold,
+		alpha:     opts.Alpha,
+		ewma:      make([]float64, n),
+		seeded:    make([]bool, n),
+	}
+	if r.interval <= 0 {
+		r.interval = DefaultInterval
+	}
+	if r.threshold <= 1 {
+		r.threshold = DefaultThreshold
+	}
+	if r.alpha <= 0 || r.alpha > 1 {
+		r.alpha = DefaultAlpha
+	}
+	return r
+}
+
+// Observe folds one backend's batch measurement into its EWMA throughput
+// estimate. It runs once per backend per UpdatePartials batch on the hot
+// path, so it must stay pure arithmetic.
+//
+//beagle:noalloc
+func (r *rebalancer) Observe(i, patternOps int, seconds float64) {
+	if patternOps <= 0 || seconds <= 0 {
+		return
+	}
+	rate := float64(patternOps) / seconds
+	if !r.seeded[i] {
+		r.ewma[i] = rate
+		r.seeded[i] = true
+		return
+	}
+	r.ewma[i] += r.alpha * (rate - r.ewma[i])
+}
+
+// due reports whether a rebalance check should run after the current batch,
+// advancing the batch counter.
+func (r *rebalancer) due() bool {
+	r.batch++
+	if r.batch%r.interval != 0 {
+		return false
+	}
+	for _, s := range r.seeded {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+// predictSpeedup models batch wall time as the slowest backend's span/rate
+// and returns oldTime/newTime for a move from the current to the target
+// boundaries.
+func (r *rebalancer) predictSpeedup(lo, hi, newLo, newHi []int) float64 {
+	var cur, next float64
+	for i := range r.ewma {
+		if t := float64(hi[i]-lo[i]) / r.ewma[i]; t > cur {
+			cur = t
+		}
+		if t := float64(newHi[i]-newLo[i]) / r.ewma[i]; t > next {
+			next = t
+		}
+	}
+	if next <= 0 {
+		return 1
+	}
+	return cur / next
+}
+
+// maybeRebalance runs after a successful UpdatePartials batch with e.mu
+// held. At interval boundaries it computes the throughput-proportional
+// target partition and, when the predicted speedup clears the hysteresis
+// threshold, migrates the boundary spans and adopts the new partition.
+func (e *Engine) maybeRebalance() error {
+	r := e.reb
+	if !r.due() {
+		return nil
+	}
+	p := e.cfg.Dims.PatternCount
+	newLo, newHi := partition(p, r.ewma)
+	speedup := r.predictSpeedup(e.lo, e.hi, newLo, newHi)
+	if speedup < r.threshold {
+		return nil
+	}
+	oldHi := append([]int(nil), e.hi...)
+	moved, err := e.migrate(newHi)
+	if err != nil {
+		return fmt.Errorf("multiimpl: rebalance migration: %w", err)
+	}
+	if moved == 0 {
+		return nil
+	}
+	r.rebalances++
+	r.migrated += moved
+	r.events = append(r.events, RebalanceEvent{
+		Batch:            r.batch,
+		OldHi:            oldHi,
+		NewHi:            append([]int(nil), newHi...),
+		Migrated:         moved,
+		PredictedSpeedup: speedup,
+	})
+	if len(r.events) > maxEvents {
+		r.events = r.events[len(r.events)-maxEvents:]
+	}
+	return nil
+}
+
+// migrate moves boundary pattern spans between neighboring sub-engines
+// until the partition boundaries equal newHi, returning the number of
+// patterns moved.
+//
+// The move runs in two phases. Phase 1 walks boundaries right to left and
+// handles every boundary that moves up (backend b grows into b+1's low
+// end); phase 2 walks left to right and handles every boundary that moves
+// down (backend b donates its high end to b+1). Ordering each phase this
+// way guarantees the donor always holds more patterns than it gives up:
+// when boundary b moves up, boundary b+1 has already reached its final
+// position, so backend b+1 still spans at least its final (non-empty)
+// range plus the span being detached; symmetrically for phase 2. Engines
+// therefore never pass through an empty state, which DetachPatterns
+// forbids.
+func (e *Engine) migrate(newHi []int) (int, error) {
+	n := len(e.subs)
+	moved := 0
+	// Phase 1: boundaries moving up, right to left.
+	for b := n - 2; b >= 0; b-- {
+		if newHi[b] <= e.hi[b] {
+			continue
+		}
+		span := newHi[b] - e.hi[b]
+		blk, err := e.subs[b+1].(engine.PatternMigrator).DetachPatterns(false, span)
+		if err != nil {
+			return moved, err
+		}
+		if err := e.subs[b].(engine.PatternMigrator).AttachPatterns(true, blk); err != nil {
+			return moved, err
+		}
+		e.hi[b] = newHi[b]
+		e.lo[b+1] = newHi[b]
+		moved += span
+	}
+	// Phase 2: boundaries moving down, left to right.
+	for b := 0; b < n-1; b++ {
+		if newHi[b] >= e.hi[b] {
+			continue
+		}
+		span := e.hi[b] - newHi[b]
+		blk, err := e.subs[b].(engine.PatternMigrator).DetachPatterns(true, span)
+		if err != nil {
+			return moved, err
+		}
+		if err := e.subs[b+1].(engine.PatternMigrator).AttachPatterns(false, blk); err != nil {
+			return moved, err
+		}
+		e.hi[b] = newHi[b]
+		e.lo[b+1] = newHi[b]
+		moved += span
+	}
+	return moved, nil
+}
+
+// RebalanceStats returns a snapshot of the rebalancer state and whether
+// rebalancing is enabled at all.
+func (e *Engine) RebalanceStats() (RebalanceStats, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.reb == nil {
+		return RebalanceStats{}, false
+	}
+	r := e.reb
+	return RebalanceStats{
+		Batches:          r.batch,
+		Rebalances:       r.rebalances,
+		PatternsMigrated: r.migrated,
+		Throughput:       append([]float64(nil), r.ewma...),
+		Lo:               append([]int(nil), e.lo...),
+		Hi:               append([]int(nil), e.hi...),
+		Events:           append([]RebalanceEvent(nil), r.events...),
+	}, true
+}

@@ -33,10 +33,11 @@ func NewMultiDeviceInstance(cfg Config, resourceIDs []int, shares []float64) (*I
 		}
 		selected[i] = resources[id]
 	}
+	single := cfg.Flags&FlagPrecisionSingle != 0
 	if shares == nil {
 		shares = make([]float64, len(selected))
 		for i, r := range selected {
-			shares[i] = throughputShare(r)
+			shares[i] = throughputShare(r, single)
 		}
 	}
 
@@ -66,7 +67,10 @@ func NewMultiDeviceInstance(cfg Config, resourceIDs []int, shares []float64) (*I
 			return buildEngine(sub, rsc, cfg.Flags)
 		}
 	}
-	eng, err := multiimpl.New(ecfg, builders, shares)
+	eng, err := multiimpl.NewBalanced(ecfg, builders, shares, multiimpl.Options{
+		Rebalance: cfg.Flags&FlagRebalance != 0,
+		Interval:  cfg.RebalanceInterval,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -74,12 +78,18 @@ func NewMultiDeviceInstance(cfg Config, resourceIDs []int, shares []float64) (*I
 	return &Instance{cfg: cfg, eng: eng, rsc: selected[0], tel: tel}, nil
 }
 
-// throughputShare estimates a resource's relative likelihood throughput for
-// default load balancing: the roofline peak for devices, a per-core estimate
-// for the host.
-func throughputShare(r *Resource) float64 {
+// throughputShare estimates a resource's relative likelihood throughput at
+// the instance's compute precision for default load balancing: the roofline
+// peak for devices (derated by the device's DP ratio in double precision —
+// a consumer GPU with a 1/32 ratio must not be weighted by its
+// single-precision figure), a per-core estimate for the host.
+func throughputShare(r *Resource, single bool) float64 {
 	if d := r.Device(); d != nil {
-		return d.Desc.PeakSPGFLOPS
+		return d.Desc.PeakGFLOPS(single)
 	}
-	return 40 * float64(r.Cores) // host CPU: ≈ per-thread effective peak
+	peak := 40 * float64(r.Cores) // host CPU: ≈ per-thread effective SP peak
+	if !single {
+		peak /= 2 // host FP64 vector width is half the FP32 width
+	}
+	return peak
 }

@@ -1,0 +1,156 @@
+package gobeagle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gobeagle/internal/device"
+	"gobeagle/internal/seqgen"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/tree"
+)
+
+// TestThroughputSharePrecision pins the precision-aware default shares for
+// a CPU + GPU resource pair: in double precision (the default) a GPU's
+// share must be derated by its DP ratio, not weighted by its
+// single-precision peak.
+func TestThroughputSharePrecision(t *testing.T) {
+	device.ResetPlatforms()
+	host := ResourceList()[0]
+	gpu, err := FindResource("Quadro P5000", "CUDA")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gpuSP := throughputShare(gpu, true)
+	gpuDP := throughputShare(gpu, false)
+	if gpuSP != device.QuadroP5000.PeakSPGFLOPS {
+		t.Fatalf("GPU SP share %v, want the SP peak %v", gpuSP, device.QuadroP5000.PeakSPGFLOPS)
+	}
+	if want := device.QuadroP5000.PeakSPGFLOPS * device.QuadroP5000.DPRatio; gpuDP != want {
+		t.Fatalf("GPU DP share %v, want DP-derated peak %v", gpuDP, want)
+	}
+
+	hostSP := throughputShare(host, true)
+	hostDP := throughputShare(host, false)
+	if hostSP <= 0 || hostDP != hostSP/2 {
+		t.Fatalf("host shares SP %v DP %v, want DP at half SP", hostSP, hostDP)
+	}
+
+	// The split itself: with a 1/32 DP ratio and the host only halving, the
+	// GPU:host ratio must shrink 16x from single to double precision. This
+	// is the precision-blind bug — the DP split used to equal the SP split.
+	spRatio := gpuSP / hostSP
+	dpRatio := gpuDP / hostDP
+	if math.Abs(dpRatio-spRatio/16) > 1e-9*spRatio {
+		t.Fatalf("GPU:host ratio SP %v DP %v, want DP = SP/16", spRatio, dpRatio)
+	}
+}
+
+// TestMultiDeviceRebalanceInstance drives a rebalancing CPU + CUDA + OpenCL
+// instance through repeated batches: results must stay correct across
+// migrations and Stats must expose the per-backend utilization.
+func TestMultiDeviceRebalanceInstance(t *testing.T) {
+	device.ResetPlatforms()
+	rng := rand.New(rand.NewSource(31))
+	tr, _ := tree.Random(rng, 8, 0.2)
+	m, _ := substmodel.NewHKY85(2, []float64{0.3, 0.2, 0.25, 0.25})
+	rates, _ := substmodel.GammaRates(0.7, 4)
+	align, _ := seqgen.Simulate(rng, tr, m, rates, 300)
+	ps := seqgen.CompressPatterns(align)
+
+	single, err := NewInstance(instanceConfig(tr, 4, ps.PatternCount(), 4, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Finalize()
+	want := evaluateTree(t, single, tr, m, rates, ps)
+
+	cuda, err := FindResource("Quadro P5000", "CUDA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	amd, err := FindResource("Radeon R9 Nano", "OpenCL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := instanceConfig(tr, 4, ps.PatternCount(), 4, 0, FlagRebalance|FlagTelemetry)
+	cfg.RebalanceInterval = 2
+	multi, err := NewMultiDeviceInstance(cfg, []int{0, cuda.ID, amd.ID}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Finalize()
+	got := evaluateTree(t, multi, tr, m, rates, ps)
+	if math.Abs(got-want) > 1e-8*math.Abs(want) {
+		t.Fatalf("multi-device lnL %v want %v", got, want)
+	}
+
+	sched := tr.FullSchedule()
+	ops := make([]Operation, len(sched.Ops))
+	for i, op := range sched.Ops {
+		ops[i] = Operation{
+			Destination: op.Dest, DestScaleWrite: None, DestScaleRead: None,
+			Child1: op.Child1, Child1Matrix: op.Child1Mat,
+			Child2: op.Child2, Child2Matrix: op.Child2Mat,
+		}
+	}
+	for b := 0; b < 12; b++ {
+		if err := multi.UpdatePartials(ops); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+	after, err := multi.CalculateRootLogLikelihoods(sched.Root, None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(after-want) > 1e-8*math.Abs(want) {
+		t.Fatalf("lnL drifted to %v after rebalanced batches, want %v", after, want)
+	}
+
+	stats := multi.Stats()
+	if len(stats.Backends) != 3 {
+		t.Fatalf("Stats reports %d backends, want 3", len(stats.Backends))
+	}
+	total := 0
+	for i, b := range stats.Backends {
+		if b.Patterns != b.Hi-b.Lo || b.Patterns < 1 {
+			t.Fatalf("backend %d slice [%d,%d) patterns %d inconsistent", i, b.Lo, b.Hi, b.Patterns)
+		}
+		if b.Throughput <= 0 {
+			t.Fatalf("backend %d has no measured throughput", i)
+		}
+		total += b.Patterns
+	}
+	if total != ps.PatternCount() {
+		t.Fatalf("backend slices cover %d patterns, want %d", total, ps.PatternCount())
+	}
+	if stats.PatternsMigrated > 0 && stats.Rebalances == 0 {
+		t.Fatal("patterns migrated without a recorded rebalance")
+	}
+	if len(stats.RebalanceEvents) > 0 && stats.Rebalances == 0 {
+		t.Fatal("rebalance events recorded without a rebalance count")
+	}
+
+	// Without FlagRebalance, telemetry stays unchanged: no backend section.
+	static, err := NewMultiDeviceInstance(
+		instanceConfig(tr, 4, ps.PatternCount(), 4, 0, FlagTelemetry),
+		[]int{0, cuda.ID, amd.ID}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer static.Finalize()
+	evaluateTree(t, static, tr, m, rates, ps)
+	ss := static.Stats()
+	if len(ss.Backends) != 0 || ss.Rebalances != 0 || ss.PatternsMigrated != 0 || len(ss.RebalanceEvents) != 0 {
+		t.Fatalf("static multi-device instance leaks rebalance telemetry: %+v", ss)
+	}
+}
+
+// TestFlagRebalanceString pins the diagnostic rendering of the new flag.
+func TestFlagRebalanceString(t *testing.T) {
+	if s := (FlagRebalance | FlagTelemetry).String(); s != "TELEMETRY|REBALANCE" {
+		t.Fatalf("flag string %q", s)
+	}
+}

@@ -3,6 +3,7 @@ package gobeagle
 import (
 	"time"
 
+	"gobeagle/internal/multiimpl"
 	"gobeagle/internal/telemetry"
 )
 
@@ -42,6 +43,40 @@ type Stats struct {
 	// first (recorded by the leveled CPU strategies: futures and
 	// thread-pool-hybrid).
 	Levels []LevelTrace `json:"levels,omitempty"`
+	// Backends holds per-backend utilization for multi-device instances
+	// created with FlagRebalance: the current pattern slice and measured
+	// throughput of each backend. Empty otherwise, so telemetry is
+	// unchanged when rebalancing is off.
+	Backends []BackendStats `json:"backends,omitempty"`
+	// Rebalances and PatternsMigrated count executed repartitions and the
+	// total patterns they moved (FlagRebalance instances only).
+	Rebalances       int `json:"rebalances,omitempty"`
+	PatternsMigrated int `json:"patterns_migrated,omitempty"`
+	// RebalanceEvents is the retained repartition history, oldest first.
+	RebalanceEvents []RebalanceEvent `json:"rebalance_events,omitempty"`
+}
+
+// BackendStats describes one backend of a rebalancing multi-device
+// instance: its current contiguous pattern slice [Lo, Hi) and its measured
+// throughput in pattern-operations per second (EWMA over UpdatePartials
+// batches; 0 until the first batch).
+type BackendStats struct {
+	Lo         int     `json:"lo"`
+	Hi         int     `json:"hi"`
+	Patterns   int     `json:"patterns"`
+	Throughput float64 `json:"throughput_pattern_ops_per_s"`
+}
+
+// RebalanceEvent records one executed repartition of a multi-device
+// instance: the batch after which it ran, the partition boundaries before
+// and after, how many patterns moved, and the modeled speedup that
+// justified the move.
+type RebalanceEvent struct {
+	Batch            int     `json:"batch"`
+	OldHi            []int   `json:"old_hi"`
+	NewHi            []int   `json:"new_hi"`
+	Migrated         int     `json:"migrated"`
+	PredictedSpeedup float64 `json:"predicted_speedup"`
 }
 
 // Kernel returns the stats recorded for one kernel family ("partials",
@@ -137,6 +172,29 @@ func (in *Instance) Stats() Stats {
 	}
 	for _, lt := range snap.Levels {
 		out.Levels = append(out.Levels, LevelTrace(lt))
+	}
+	if me, ok := in.eng.(*multiimpl.Engine); ok {
+		if rs, enabled := me.RebalanceStats(); enabled {
+			for i := range rs.Lo {
+				out.Backends = append(out.Backends, BackendStats{
+					Lo:         rs.Lo[i],
+					Hi:         rs.Hi[i],
+					Patterns:   rs.Hi[i] - rs.Lo[i],
+					Throughput: rs.Throughput[i],
+				})
+			}
+			out.Rebalances = rs.Rebalances
+			out.PatternsMigrated = rs.PatternsMigrated
+			for _, ev := range rs.Events {
+				out.RebalanceEvents = append(out.RebalanceEvents, RebalanceEvent{
+					Batch:            ev.Batch,
+					OldHi:            ev.OldHi,
+					NewHi:            ev.NewHi,
+					Migrated:         ev.Migrated,
+					PredictedSpeedup: ev.PredictedSpeedup,
+				})
+			}
+		}
 	}
 	return out
 }
