@@ -9,9 +9,17 @@
 // BENCH_<experiment>.json report (effective GFLOPS per device, strategy and
 // problem shape) for the CI benchmark artifacts.
 //
+// With -compare PATH each experiment's fresh report is gated against its
+// committed baseline (PATH is a baseline directory holding
+// BENCH_<experiment>.json files, or a single baseline file): per-record
+// throughput drops beyond -tolerance fail the run with a nonzero exit, the
+// CI benchmark regression gate. With -trace FILE a small traced multi-device
+// evaluation additionally writes a Chrome trace-event JSON timeline.
+//
 // Usage:
 //
-//	beaglebench -experiment table3|table3hybrid|table4|table5|fig4|fig4smoke|fig5|fig6|rebalance|all [-json DIR]
+//	beaglebench -experiment table3|table3hybrid|table4|table5|fig4|fig4smoke|fig5|fig6|rebalance|all
+//	            [-json DIR] [-compare PATH [-tolerance FRAC]] [-trace FILE]
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"gobeagle/internal/benchmarks"
@@ -27,6 +36,9 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all", "table3, table3hybrid, table4, table5, fig4, fig4smoke, fig5, fig6, rebalance, or all")
 	jsonDir := flag.String("json", "", "directory to also write machine-readable BENCH_<experiment>.json reports")
+	compare := flag.String("compare", "", "baseline directory (or single BENCH_<experiment>.json) to gate each experiment against")
+	tolerance := flag.Float64("tolerance", benchmarks.DefaultTolerance, "relative regression tolerance for -compare")
+	tracePath := flag.String("trace", "", "also capture a traced multi-device evaluation to this Chrome trace-event JSON file")
 	flag.Parse()
 
 	runners := map[string]func(io.Writer) (benchmarks.Report, error){
@@ -61,6 +73,7 @@ func main() {
 		}
 	}
 
+	gateFailed := false
 	for _, name := range selected {
 		start := time.Now()
 		rep, err := runners[name](os.Stdout)
@@ -76,8 +89,56 @@ func main() {
 			}
 			fmt.Printf("[wrote %s]\n", path)
 		}
+		if *compare != "" {
+			if gateExperiment(*compare, rep, *tolerance) {
+				gateFailed = true
+			}
+		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "beaglebench: %v\n", err)
+			os.Exit(1)
+		}
+		spans, err := benchmarks.CaptureTrace(f, 3)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "beaglebench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %d spans to %s — load in ui.perfetto.dev]\n", spans, *tracePath)
+	}
+
+	if gateFailed {
+		fmt.Fprintln(os.Stderr, "beaglebench: benchmark regression gate failed")
+		os.Exit(1)
+	}
+}
+
+// gateExperiment compares one fresh report against its baseline and prints
+// the result; returns true when the gate failed. A missing baseline file is
+// a hard error: the gate must not silently pass ungated experiments.
+func gateExperiment(path string, rep benchmarks.Report, tolerance float64) bool {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		path = filepath.Join(path, "BENCH_"+rep.Experiment+".json")
+	}
+	baseline, err := benchmarks.ReadReport(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "beaglebench: %s: baseline: %v\n", rep.Experiment, err)
+		return true
+	}
+	cmp, err := benchmarks.Compare(baseline, rep, tolerance)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "beaglebench: %s: %v\n", rep.Experiment, err)
+		return true
+	}
+	benchmarks.PrintComparison(os.Stdout, cmp)
+	return cmp.Failed()
 }
 
 func runTable3(w io.Writer) (benchmarks.Report, error) {

@@ -40,6 +40,7 @@ func main() {
 		resource  = flag.String("resource", "CPU (host)", "compute resource name")
 		framework = flag.String("framework", "", "restrict resource lookup to CUDA or OpenCL")
 		stats     = flag.Bool("stats", false, "enable telemetry and print per-chain kernel op counts and timings")
+		tracePath = flag.String("trace", "", "enable span tracing on the cold chain and write its Chrome trace-event JSON timeline to this file")
 	)
 	flag.Parse()
 	if *seqsPath == "" {
@@ -88,7 +89,14 @@ func main() {
 	engines := make([]mcmc.LikelihoodEngine, *chains)
 	beagles := make([]*mcmc.BeagleEngine, *chains)
 	for i := range engines {
-		eng, err := mcmc.NewBeagleEngine(model, rates, ps, start, rsc.ID, flags)
+		// Only chain 0 (the cold chain) is traced: one timeline is enough to
+		// see the evaluation structure, and tracing every heated chain would
+		// multiply the span volume without adding information.
+		cf := flags
+		if *tracePath != "" && i == 0 {
+			cf |= gobeagle.FlagTrace
+		}
+		eng, err := mcmc.NewBeagleEngine(model, rates, ps, start, rsc.ID, cf)
 		if err != nil {
 			fatal(err)
 		}
@@ -147,6 +155,29 @@ func main() {
 	if *stats {
 		printStats(beagles)
 	}
+	if *tracePath != "" {
+		if err := writeTrace(beagles[0].Instance(), *tracePath); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeTrace exports the cold chain's span timeline as Chrome trace-event
+// JSON.
+func writeTrace(inst *gobeagle.Instance, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = inst.TraceJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d spans to %s — load in ui.perfetto.dev\n", inst.TraceSpanCount(), path)
+	return nil
 }
 
 // printStats summarizes the telemetry of every chain's instance: per-chain

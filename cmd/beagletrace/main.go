@@ -1,0 +1,169 @@
+// Command beagletrace validates a Chrome trace-event JSON file produced by
+// the library's span tracer (Instance.TraceJSON, or the -trace flag of
+// beaglebench, beaglemcmc and genomictest). It checks the document's schema
+// — a traceEvents array of complete "X" events with name/ts/dur/pid/tid and
+// "M" metadata naming every process — and prints a per-layer span summary.
+// CI's trace-smoke step uses it to assert a captured trace really contains
+// spans from the expected layers.
+//
+// Usage:
+//
+//	beagletrace [-require-layers "scheduler,device (modeled clock)"] [-min-spans N] trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// rawEvent mirrors the exported trace-event schema loosely enough to surface
+// malformed fields as validation errors rather than decode failures.
+type rawEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	Cat  string         `json:"cat"`
+	Args map[string]any `json:"args"`
+}
+
+type traceDoc struct {
+	TraceEvents []rawEvent `json:"traceEvents"`
+}
+
+func main() {
+	requireLayers := flag.String("require-layers", "", "comma-separated process (layer) names that must have at least one span")
+	minSpans := flag.Int("min-spans", 1, "minimum number of complete (ph \"X\") span events")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatal(fmt.Errorf("%s: not valid trace-event JSON: %w", path, err))
+	}
+	if doc.TraceEvents == nil {
+		fatal(fmt.Errorf("%s: no traceEvents array", path))
+	}
+
+	layerByPid, errs := checkMetadata(doc.TraceEvents)
+	spansPerLayer, spanCount, spanErrs := checkSpans(doc.TraceEvents, layerByPid)
+	errs = append(errs, spanErrs...)
+
+	if spanCount < *minSpans {
+		errs = append(errs, fmt.Sprintf("only %d span events, need at least %d", spanCount, *minSpans))
+	}
+	if *requireLayers != "" {
+		for _, want := range strings.Split(*requireLayers, ",") {
+			want = strings.TrimSpace(want)
+			if want != "" && spansPerLayer[want] == 0 {
+				errs = append(errs, fmt.Sprintf("required layer %q has no spans", want))
+			}
+		}
+	}
+
+	layers := make([]string, 0, len(spansPerLayer))
+	for l := range spansPerLayer {
+		layers = append(layers, l)
+	}
+	sort.Strings(layers)
+	fmt.Printf("%s: %d spans across %d layers\n", path, spanCount, len(layers))
+	for _, l := range layers {
+		fmt.Printf("  %-24s %6d spans\n", l, spansPerLayer[l])
+	}
+
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "beagletrace: %s: %s\n", path, e)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("trace OK")
+}
+
+// checkMetadata validates the "M" events and returns the pid → process-name
+// mapping the span check resolves layers through.
+func checkMetadata(events []rawEvent) (map[int]string, []string) {
+	layerByPid := map[int]string{}
+	var errs []string
+	for i, e := range events {
+		if e.Ph != "M" {
+			continue
+		}
+		if e.Pid == nil {
+			errs = append(errs, fmt.Sprintf("metadata event %d has no pid", i))
+			continue
+		}
+		if e.Name != "process_name" {
+			continue
+		}
+		name, ok := e.Args["name"].(string)
+		if !ok || name == "" {
+			errs = append(errs, fmt.Sprintf("process_name metadata for pid %d has no name arg", *e.Pid))
+			continue
+		}
+		layerByPid[*e.Pid] = name
+	}
+	return layerByPid, errs
+}
+
+// checkSpans validates every complete event and tallies spans per layer.
+// Error reporting caps at a handful per class so a systematically broken
+// trace doesn't flood the output.
+func checkSpans(events []rawEvent, layerByPid map[int]string) (map[string]int, int, []string) {
+	spansPerLayer := map[string]int{}
+	var errs []string
+	count := 0
+	addErr := func(s string) {
+		const maxErrs = 10
+		if len(errs) < maxErrs {
+			errs = append(errs, s)
+		} else if len(errs) == maxErrs {
+			errs = append(errs, "further span errors suppressed")
+		}
+	}
+	for i, e := range events {
+		if e.Ph != "X" {
+			continue
+		}
+		count++
+		if e.Name == "" {
+			addErr(fmt.Sprintf("span event %d has no name", i))
+		}
+		if e.Ts == nil {
+			addErr(fmt.Sprintf("span event %d (%s) has no ts", i, e.Name))
+		}
+		if e.Dur != nil && *e.Dur < 0 {
+			addErr(fmt.Sprintf("span event %d (%s) has negative dur", i, e.Name))
+		}
+		if e.Pid == nil || e.Tid == nil {
+			addErr(fmt.Sprintf("span event %d (%s) missing pid or tid", i, e.Name))
+			continue
+		}
+		layer, ok := layerByPid[*e.Pid]
+		if !ok {
+			addErr(fmt.Sprintf("span event %d (%s) references pid %d with no process_name metadata", i, e.Name, *e.Pid))
+			continue
+		}
+		spansPerLayer[layer]++
+	}
+	return spansPerLayer, count, errs
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "beagletrace:", err)
+	os.Exit(1)
+}

@@ -39,6 +39,7 @@ func main() {
 		workGroup = flag.Int("workgroup", 0, "accelerator work-group size in patterns (0 = default)")
 		threads   = flag.Int("threads", 0, "CPU worker threads (0 = all)")
 		stats     = flag.Bool("stats", false, "enable telemetry and print per-kernel op counts and timings")
+		tracePath = flag.String("trace", "", "enable span tracing and write a Chrome trace-event JSON timeline to this file")
 	)
 	flag.Parse()
 
@@ -69,6 +70,9 @@ func main() {
 	}
 	if *stats {
 		flags |= gobeagle.FlagTelemetry
+	}
+	if *tracePath != "" {
+		flags |= gobeagle.FlagTrace
 	}
 	p, err := benchmarks.NewProblem(*seed, *taxa, *states, *patterns, *cats)
 	if err != nil {
@@ -132,6 +136,28 @@ func main() {
 	if *stats {
 		printStats(inst.Stats())
 	}
+	if *tracePath != "" {
+		if err := writeTrace(inst, *tracePath); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeTrace exports the instance's span timeline as Chrome trace-event JSON.
+func writeTrace(inst *gobeagle.Instance, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = inst.TraceJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d spans to %s — load in ui.perfetto.dev\n", inst.TraceSpanCount(), path)
+	return nil
 }
 
 // printStats renders the telemetry snapshot: per-kernel op counts and

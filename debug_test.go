@@ -1,0 +1,132 @@
+package gobeagle
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeDebugEndpoints exercises the live debug server over a real TCP
+// listener: metrics in the Prometheus text format, the expvar-style variable
+// dump and the trace summary must all reflect a traced, telemetered
+// evaluation.
+func TestServeDebugEndpoints(t *testing.T) {
+	tr, m, rates, ps := statsProblem(t)
+	inst, err := NewInstance(instanceConfig(tr, 4, ps.PatternCount(), 4, 0,
+		FlagTelemetry|FlagTrace|FlagThreadingThreadPoolHybrid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Finalize()
+	evaluateTree(t, inst, tr, m, rates, ps)
+
+	srv, err := inst.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"# TYPE gobeagle_batches_total counter",
+		"gobeagle_batches_total 1",
+		"gobeagle_telemetry_enabled 1",
+		"gobeagle_trace_enabled 1",
+		`gobeagle_kernel_ops_total{kernel="partials"}`,
+		"gobeagle_effective_gflops",
+		"gobeagle_trace_spans",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars["batches"].(float64) != 1 || vars["trace_enabled"] != true {
+		t.Errorf("/debug/vars = %v", vars)
+	}
+	if vars["implementation"] != inst.Implementation() {
+		t.Errorf("implementation %v, want %v", vars["implementation"], inst.Implementation())
+	}
+
+	var sum []TraceKindSummary
+	if err := json.Unmarshal([]byte(get("/debug/trace")), &sum); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v", err)
+	}
+	kinds := map[string]bool{}
+	for _, s := range sum {
+		if s.Count <= 0 {
+			t.Errorf("summary kind %q has count %d", s.Kind, s.Count)
+		}
+		kinds[s.Kind] = true
+	}
+	for _, want := range []string{"partials batch", "root likelihood", "transition matrices"} {
+		if !kinds[want] {
+			t.Errorf("/debug/trace missing kind %q (got %v)", want, kinds)
+		}
+	}
+
+	// Single-device instance: no rebalance history.
+	if body := strings.TrimSpace(get("/debug/rebalance")); body != "null" {
+		t.Errorf("/debug/rebalance = %q, want null", body)
+	}
+}
+
+// TestServeDebugRebalanceEndpoint checks the rebalance history endpoint on a
+// multi-device rebalancing instance.
+func TestServeDebugRebalanceEndpoint(t *testing.T) {
+	tr, m, rates, ps := statsProblem(t)
+	inst, err := NewMultiDeviceInstance(instanceConfig(tr, 4, ps.PatternCount(), 4, 0,
+		FlagTelemetry|FlagRebalance|FlagPrecisionSingle), []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Finalize()
+	evaluateTree(t, inst, tr, m, rates, ps)
+
+	srv, err := inst.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`gobeagle_backend_patterns{backend="0"}`,
+		`gobeagle_backend_patterns{backend="1"}`,
+		"gobeagle_rebalances_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, string(body))
+		}
+	}
+}

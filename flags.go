@@ -48,6 +48,13 @@ const (
 	// measured split has drifted past a hysteresis threshold (§IX). Ignored
 	// by single-resource instances.
 	FlagRebalance
+	// FlagTrace enables the span tracer at creation: timeline spans from the
+	// scheduler (batches, dependency levels), workers, the modeled device
+	// clock (kernel launches, transfers) and multi-device coordination
+	// (barriers, rebalances, migrations), exported as Chrome trace-event
+	// JSON through Instance.TraceJSON. Collection can also be toggled later
+	// with Instance.EnableTrace.
+	FlagTrace
 )
 
 // threadingFlags lists the mutually exclusive CPU threading selections.
@@ -74,6 +81,7 @@ func (f Flags) String() string {
 		{FlagKernelX86, "KERNEL_X86"},
 		{FlagTelemetry, "TELEMETRY"},
 		{FlagRebalance, "REBALANCE"},
+		{FlagTrace, "TRACE"},
 	}
 	var out []string
 	for _, n := range names {

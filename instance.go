@@ -8,6 +8,7 @@ import (
 	"gobeagle/internal/engine"
 	"gobeagle/internal/kernels"
 	"gobeagle/internal/telemetry"
+	"gobeagle/internal/trace"
 )
 
 // None marks an unused index argument (no rescaling, for example), matching
@@ -81,6 +82,7 @@ type Instance struct {
 	eng engine.Engine
 	rsc *Resource
 	tel *telemetry.Collector
+	tr  *trace.Tracer
 }
 
 // NewInstance creates an instance on the selected resource. The
@@ -115,6 +117,8 @@ func NewInstance(cfg Config) (*Instance, error) {
 	}
 	tel := newInstanceCollector(cfg.Flags)
 	ecfg.Telemetry = tel
+	tr := newInstanceTracer(cfg.Flags)
+	ecfg.Trace = tr
 	eng, err := buildEngine(ecfg, rsc, cfg.Flags)
 	if err != nil {
 		return nil, err
@@ -124,7 +128,7 @@ func NewInstance(cfg Config) (*Instance, error) {
 		strategy = "device"
 	}
 	tel.SetLabels(eng.Name(), strategy)
-	return &Instance{cfg: cfg, eng: eng, rsc: rsc, tel: tel}, nil
+	return &Instance{cfg: cfg, eng: eng, rsc: rsc, tel: tel, tr: tr}, nil
 }
 
 // Implementation returns the name of the selected implementation, e.g.

@@ -144,6 +144,7 @@ func newEngine[T kernels.Real](cfg engine.Config, variant Variant, dev *device.D
 	for i := range e.patWts {
 		e.patWts[i] = 1
 	}
+	e.q.SetTracer(cfg.Trace, int32(cfg.TraceLane))
 
 	e.useFMA = dev.Desc.SupportsFMA && !cfg.DisableFMA
 	e.efficiency = 1

@@ -10,6 +10,7 @@ import (
 	"gobeagle/internal/flops"
 	"gobeagle/internal/kernels"
 	"gobeagle/internal/telemetry"
+	"gobeagle/internal/trace"
 )
 
 // SetTipStates uploads compact states for a tip buffer.
@@ -237,6 +238,11 @@ func (e *Engine[T]) UpdateTransitionMatrices(eigenSlot int, matrices []int, edge
 	if e.cfg.Telemetry.Enabled() {
 		start = time.Now()
 	}
+	var tstart int64
+	traceOn := e.cfg.Trace.Enabled()
+	if traceOn {
+		tstart = e.cfg.Trace.Now()
+	}
 	for i, m := range matrices {
 		out := e.matrices[m].Data()
 		length := edgeLengths[i]
@@ -253,6 +259,10 @@ func (e *Engine[T]) UpdateTransitionMatrices(eigenSlot int, matrices []int, edge
 	}
 	if !start.IsZero() {
 		e.cfg.Telemetry.Record(telemetry.KernelMatrices, len(matrices), time.Since(start))
+	}
+	if traceOn {
+		e.cfg.Trace.Record(trace.Span{Kind: trace.KindMatrices, Lane: int32(e.cfg.TraceLane),
+			Start: tstart, Dur: e.cfg.Trace.Now() - tstart, Arg0: int64(len(matrices))})
 	}
 	return nil
 }
@@ -334,6 +344,13 @@ func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
 		e.cfg.Telemetry.NextBatch()
 		start = time.Now()
 	}
+	var tstart int64
+	var tbatch uint64
+	traceOn := e.cfg.Trace.Enabled()
+	if traceOn {
+		tbatch = e.cfg.Trace.NextBatch()
+		tstart = e.cfg.Trace.Now()
+	}
 	for _, op := range ops {
 		dest, err := e.ensurePartials(op.Dest)
 		if err != nil {
@@ -379,6 +396,10 @@ func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
 	if !start.IsZero() {
 		e.cfg.Telemetry.Record(telemetry.KernelPartials, len(ops), time.Since(start))
 		e.cfg.Telemetry.AddFlops(flops.PartialsOp(e.cfg.Dims) * float64(len(ops)))
+	}
+	if traceOn {
+		e.cfg.Trace.Record(trace.Span{Kind: trace.KindBatch, Lane: int32(e.cfg.TraceLane), Batch: tbatch,
+			Start: tstart, Dur: e.cfg.Trace.Now() - tstart, Arg0: int64(len(ops))})
 	}
 	return nil
 }
@@ -587,6 +608,11 @@ func (e *Engine[T]) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float
 	if e.cfg.Telemetry.Enabled() {
 		start = time.Now()
 	}
+	var tstart int64
+	traceOn := e.cfg.Trace.Enabled()
+	if traceOn {
+		tstart = e.cfg.Trace.Now()
+	}
 	site, scale, err := e.siteLikelihoods(rootBuf, cumScaleBuf)
 	if err != nil {
 		return 0, err
@@ -594,6 +620,10 @@ func (e *Engine[T]) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float
 	lnL := kernels.RootLogLikelihood(site, e.patWts, scale, 0, len(site))
 	if !start.IsZero() {
 		e.cfg.Telemetry.Record(telemetry.KernelRoot, 1, time.Since(start))
+	}
+	if traceOn {
+		e.cfg.Trace.Record(trace.Span{Kind: trace.KindRoot, Lane: int32(e.cfg.TraceLane),
+			Start: tstart, Dur: e.cfg.Trace.Now() - tstart, Arg0: int64(len(site))})
 	}
 	return lnL, nil
 }
@@ -650,6 +680,11 @@ func (e *Engine[T]) UpdateTransitionDerivatives(eigenSlot int, d1Matrices, d2Mat
 	if e.cfg.Telemetry.Enabled() {
 		start = time.Now()
 	}
+	var tstart int64
+	traceOn := e.cfg.Trace.Enabled()
+	if traceOn {
+		tstart = e.cfg.Trace.Now()
+	}
 	n := e.cfg.Dims.MatrixLen()
 	host1 := make([]T, n)
 	var host2 []T
@@ -671,6 +706,10 @@ func (e *Engine[T]) UpdateTransitionDerivatives(eigenSlot int, d1Matrices, d2Mat
 	}
 	if !start.IsZero() {
 		e.cfg.Telemetry.Record(telemetry.KernelDerivatives, len(d1Matrices), time.Since(start))
+	}
+	if traceOn {
+		e.cfg.Trace.Record(trace.Span{Kind: trace.KindDerivatives, Lane: int32(e.cfg.TraceLane),
+			Start: tstart, Dur: e.cfg.Trace.Now() - tstart, Arg0: int64(len(d1Matrices))})
 	}
 	return nil
 }

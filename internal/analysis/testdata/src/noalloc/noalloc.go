@@ -148,3 +148,54 @@ func Clean(xs []float64, out []float64) float64 {
 func NotAnnotated(n int) []int {
 	return make([]int, n)
 }
+
+// --- span-tracer record-path patterns ------------------------------------
+// The span tracer (internal/trace) annotates its Record path
+// //beagle:noalloc; these fixtures seed the mistakes that would silently
+// break it — taking timestamps inside the record path, heap-building spans,
+// growing a span slice, boxing span fields — and pin down the ring-store
+// shape the real path must keep.
+
+type span struct {
+	kind  uint8
+	lane  int32
+	start int64
+	dur   int64
+}
+
+type ring struct {
+	count uint64
+	slots [4]span
+}
+
+//beagle:noalloc
+func RecordTakesTimestamp(r *ring, s span) {
+	s.start = time.Now().UnixNano() // want `time.Now is forbidden`
+	r.slots[r.count%4] = s
+	r.count++
+}
+
+//beagle:noalloc
+func RecordHeapBuildsSpan() *span {
+	return &span{kind: 1} // want `address of composite literal escapes`
+}
+
+//beagle:noalloc
+func RecordGrowsSlice(spans []span, s span) []span {
+	return append(spans, s) // want `append may grow and reallocate`
+}
+
+//beagle:noalloc
+func RecordBoxesField(s span) {
+	takesAny(s.lane) // want `argument boxes int32 into interface any`
+}
+
+// CleanRecord is the shape the real record path must keep: a value struct
+// (built inline, no pointer) stored into a fixed ring slot behind a
+// modular index, counters bumped in place, no timestamps and no boxing.
+//
+//beagle:noalloc
+func CleanRecord(r *ring, lane int32, start, dur int64) {
+	r.slots[r.count%4] = span{kind: 2, lane: lane, start: start, dur: dur}
+	r.count++
+}

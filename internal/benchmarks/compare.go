@@ -1,0 +1,190 @@
+package benchmarks
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// This file implements the benchmark regression gate: a committed baseline
+// BENCH_<experiment>.json is compared record-by-record against a fresh run,
+// and per-record throughput deltas beyond a noise tolerance fail the gate.
+// Records are matched on their full configuration identity (device,
+// implementation, strategy and problem shape); the compared metric is
+// effective GFLOPS when present and the speedup factor otherwise (the
+// rebalance and fig6 experiments report speedups, not GFLOPS).
+
+// ReadReport loads a machine-readable BENCH_<experiment>.json report.
+func ReadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("benchmarks: %s: %w", path, err)
+	}
+	if rep.Experiment == "" {
+		return Report{}, fmt.Errorf("benchmarks: %s: report has no experiment name", path)
+	}
+	return rep, nil
+}
+
+// recordKey is the configuration identity a record is matched on across
+// runs: everything except the measured metrics.
+func recordKey(r Record) string {
+	return fmt.Sprintf("%s|%s|%s|%s|%s|s%d|p%d|c%d|t%d|th%d|wg%d",
+		r.Device, r.Implementation, r.Strategy, r.Model, r.Precision,
+		r.States, r.Patterns, r.Categories, r.Tips, r.Threads, r.WorkGroup)
+}
+
+// metric returns the compared measurement of a record and its unit label:
+// GFLOPS when recorded, the speedup factor otherwise.
+func metric(r Record) (float64, string) {
+	if r.GFLOPS > 0 {
+		return r.GFLOPS, "GFLOPS"
+	}
+	return r.Speedup, "speedup"
+}
+
+// Delta is one record's baseline-to-current comparison.
+type Delta struct {
+	Key     string  `json:"key"`
+	Unit    string  `json:"unit"`
+	Base    float64 `json:"base"`
+	Current float64 `json:"current"`
+	// Change is the relative delta (Current-Base)/Base; negative means the
+	// current run is slower.
+	Change float64 `json:"change"`
+	// Regression marks deltas below the gate's tolerance.
+	Regression bool `json:"regression"`
+}
+
+// Comparison is the full result of gating one experiment.
+type Comparison struct {
+	Experiment string  `json:"experiment"`
+	Tolerance  float64 `json:"tolerance"`
+	Deltas     []Delta `json:"deltas"`
+	// Missing lists baseline records absent from the current run (a gate
+	// failure: silently dropped coverage must not pass); Added lists new
+	// records with no baseline (informational).
+	Missing []string `json:"missing,omitempty"`
+	Added   []string `json:"added,omitempty"`
+}
+
+// Regressions counts deltas that tripped the gate.
+func (c Comparison) Regressions() int {
+	n := 0
+	for _, d := range c.Deltas {
+		if d.Regression {
+			n++
+		}
+	}
+	return n
+}
+
+// Failed reports whether the gate should fail the run: any regression beyond
+// tolerance, or baseline records the current run no longer produces.
+func (c Comparison) Failed() bool { return c.Regressions() > 0 || len(c.Missing) > 0 }
+
+// DefaultTolerance is the gate's relative noise allowance: a record must be
+// more than 10% below its baseline to count as a regression.
+const DefaultTolerance = 0.10
+
+// Compare gates a current report against its baseline. tolerance ≤ 0 uses
+// DefaultTolerance. Records with a zero baseline metric are compared only
+// for presence (a ratio against zero is meaningless).
+func Compare(baseline, current Report, tolerance float64) (Comparison, error) {
+	if baseline.Experiment != current.Experiment {
+		return Comparison{}, fmt.Errorf("benchmarks: comparing %q against baseline %q",
+			current.Experiment, baseline.Experiment)
+	}
+	if tolerance <= 0 {
+		tolerance = DefaultTolerance
+	}
+	cur := make(map[string]Record, len(current.Records))
+	for _, r := range current.Records {
+		cur[recordKey(r)] = r
+	}
+	cmp := Comparison{Experiment: baseline.Experiment, Tolerance: tolerance}
+	seen := map[string]bool{}
+	for _, base := range baseline.Records {
+		key := recordKey(base)
+		seen[key] = true
+		now, ok := cur[key]
+		if !ok {
+			cmp.Missing = append(cmp.Missing, key)
+			continue
+		}
+		baseVal, unit := metric(base)
+		nowVal, _ := metric(now)
+		if baseVal <= 0 {
+			continue
+		}
+		change := (nowVal - baseVal) / baseVal
+		cmp.Deltas = append(cmp.Deltas, Delta{
+			Key: key, Unit: unit, Base: baseVal, Current: nowVal,
+			Change:     change,
+			Regression: change < -tolerance,
+		})
+	}
+	for _, r := range current.Records {
+		if key := recordKey(r); !seen[key] {
+			cmp.Added = append(cmp.Added, key)
+		}
+	}
+	sort.Slice(cmp.Deltas, func(i, j int) bool { return cmp.Deltas[i].Change < cmp.Deltas[j].Change })
+	return cmp, nil
+}
+
+// PrintComparison renders the gate result; regressions and missing records
+// first, then the best and worst deltas.
+func PrintComparison(w io.Writer, c Comparison) {
+	status := "PASS"
+	if c.Failed() {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "benchmark gate [%s]: %s — %d records compared, %d regressions beyond %.0f%%, %d missing\n",
+		c.Experiment, status, len(c.Deltas), c.Regressions(), c.Tolerance*100, len(c.Missing))
+	for _, key := range c.Missing {
+		fmt.Fprintf(w, "  MISSING %s\n", key)
+	}
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	shown := 0
+	for _, d := range c.Deltas {
+		// Regressions always print; healthy deltas only the five largest moves.
+		if !d.Regression && shown >= 5 {
+			break
+		}
+		mark := " "
+		if d.Regression {
+			mark = "REGRESSION"
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%.3f -> %.3f %s\t%+.1f%%\n",
+			mark, shortKey(d.Key), d.Base, d.Current, d.Unit, d.Change*100)
+		shown++
+	}
+	tw.Flush()
+	if len(c.Added) > 0 {
+		fmt.Fprintf(w, "  %d records have no baseline yet (regenerate baselines to cover them)\n", len(c.Added))
+	}
+}
+
+// shortKey compresses a record key for table output by dropping empty
+// segments.
+func shortKey(key string) string {
+	parts := strings.Split(key, "|")
+	out := parts[:0]
+	for _, p := range parts {
+		switch p {
+		case "", "s0", "p0", "c0", "t0", "th0", "wg0":
+			continue
+		}
+		out = append(out, p)
+	}
+	return strings.Join(out, "|")
+}

@@ -1,0 +1,168 @@
+package benchmarks
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func gateReport() Report {
+	return Report{
+		Experiment: "fig4smoke",
+		Unit:       "GFLOPS",
+		Records: []Record{
+			{Device: "Radeon R9 Nano", Implementation: "R9 Nano", Strategy: "device",
+				Model: "nucleotide", Precision: "single", States: 4, Patterns: 1000,
+				Categories: 4, Tips: 16, GFLOPS: 400},
+			{Device: "Xeon", Implementation: "OpenCL-x86", Strategy: "device",
+				Model: "nucleotide", Precision: "single", States: 4, Patterns: 1000,
+				Categories: 4, Tips: 16, GFLOPS: 98},
+			{Device: "synthetic", Implementation: "adaptive", Strategy: "multi-device",
+				Model: "nucleotide", Precision: "double", States: 4, Patterns: 1024,
+				Categories: 4, Tips: 16, Speedup: 2.5},
+		},
+	}
+}
+
+// TestCompareDetectsInjectedSlowdown is the gate's acceptance test: a 20%
+// slowdown on one record must trip the default 10% tolerance, while 5% noise
+// must not.
+func TestCompareDetectsInjectedSlowdown(t *testing.T) {
+	base := gateReport()
+
+	slowed := gateReport()
+	slowed.Records[0].GFLOPS *= 0.8 // injected 20% regression
+	cmp, err := Compare(base, slowed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Failed() || cmp.Regressions() != 1 {
+		t.Fatalf("20%% slowdown not gated: %+v", cmp)
+	}
+	var reg Delta
+	for _, d := range cmp.Deltas {
+		if d.Regression {
+			reg = d
+		}
+	}
+	if !strings.Contains(reg.Key, "R9 Nano") {
+		t.Errorf("wrong record flagged: %q", reg.Key)
+	}
+
+	noisy := gateReport()
+	for i := range noisy.Records {
+		noisy.Records[i].GFLOPS *= 0.95 // 5% noise, within tolerance
+		noisy.Records[i].Speedup *= 0.95
+	}
+	cmp, err = Compare(base, noisy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Failed() {
+		t.Fatalf("5%% noise tripped the gate: %+v", cmp)
+	}
+}
+
+// TestCompareSpeedupMetric checks speedup-unit records (rebalance, fig6) are
+// gated on their speedup factor.
+func TestCompareSpeedupMetric(t *testing.T) {
+	base := gateReport()
+	cur := gateReport()
+	cur.Records[2].Speedup = 1.0 // adaptive speedup collapsed
+	cmp, err := Compare(base, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Regressions() != 1 {
+		t.Fatalf("speedup regression not detected: %+v", cmp)
+	}
+	for _, d := range cmp.Deltas {
+		if d.Regression && d.Unit != "speedup" {
+			t.Errorf("regression gated on unit %q, want speedup", d.Unit)
+		}
+	}
+}
+
+func TestCompareMissingRecordFailsGate(t *testing.T) {
+	base := gateReport()
+	cur := gateReport()
+	cur.Records = cur.Records[:2] // coverage silently dropped
+	cmp, err := Compare(base, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Failed() || len(cmp.Missing) != 1 {
+		t.Fatalf("missing record did not fail the gate: %+v", cmp)
+	}
+
+	// The reverse — new records with no baseline — is informational only.
+	cmp, err = Compare(Report{Experiment: "fig4smoke", Records: base.Records[:2]}, base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Failed() || len(cmp.Added) != 1 {
+		t.Fatalf("added record handled wrong: %+v", cmp)
+	}
+}
+
+func TestCompareExperimentMismatch(t *testing.T) {
+	base := gateReport()
+	other := gateReport()
+	other.Experiment = "rebalance"
+	if _, err := Compare(base, other, 0); err == nil {
+		t.Fatal("cross-experiment comparison must error")
+	}
+}
+
+func TestReadReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rep := gateReport()
+	path, err := WriteReport(dir, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Experiment != rep.Experiment || len(got.Records) != len(rep.Records) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if _, err := ReadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(bad); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+}
+
+func TestPrintComparisonShowsRegressions(t *testing.T) {
+	base := gateReport()
+	cur := gateReport()
+	cur.Records[0].GFLOPS *= 0.5
+	cmp, err := Compare(base, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	PrintComparison(&buf, cmp)
+	out := buf.String()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "REGRESSION") {
+		t.Errorf("comparison output missing failure markers:\n%s", out)
+	}
+	cmpOK, err := Compare(base, gateReport(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	PrintComparison(&buf, cmpOK)
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Errorf("clean comparison not marked PASS:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,56 @@
+package benchmarks
+
+import (
+	"fmt"
+	"io"
+
+	"gobeagle"
+)
+
+// CaptureTrace runs a small multi-device evaluation with span tracing on and
+// writes the resulting Chrome trace-event JSON. The instance pairs the host
+// CPU (thread-pool-hybrid scheduling, so scheduler level and worker task
+// spans appear) with the first accelerator resource (so modeled-clock kernel
+// and transfer spans appear) under the multi-device engine (barrier and
+// per-backend spans) — the three layers a useful heterogeneous timeline
+// needs. Returns the number of exported spans.
+func CaptureTrace(w io.Writer, evals int) (int, error) {
+	if evals <= 0 {
+		evals = 3
+	}
+	p, err := NewProblem(7, 16, 4, 2048, 4)
+	if err != nil {
+		return 0, err
+	}
+	cfg := p.InstanceConfig(0, gobeagle.FlagTrace|gobeagle.FlagPrecisionSingle|
+		gobeagle.FlagThreadingThreadPoolHybrid)
+	inst, err := gobeagle.NewMultiDeviceInstance(cfg, []int{0, 1}, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer inst.Finalize()
+	if err := p.Load(inst); err != nil {
+		return 0, err
+	}
+	mats, lens, ops, root := p.Schedule()
+	for i := 0; i < evals; i++ {
+		if err := inst.UpdateTransitionMatrices(0, mats, lens); err != nil {
+			return 0, err
+		}
+		if err := inst.UpdatePartials(ops); err != nil {
+			return 0, err
+		}
+		lnL, err := inst.CalculateRootLogLikelihoods(root, gobeagle.None)
+		if err != nil {
+			return 0, err
+		}
+		if !(lnL < 0) {
+			return 0, fmt.Errorf("benchmarks: suspicious log likelihood %v in traced run", lnL)
+		}
+	}
+	spans := inst.TraceSpanCount()
+	if spans == 0 {
+		return 0, fmt.Errorf("benchmarks: traced run recorded no spans")
+	}
+	return spans, inst.TraceJSON(w)
+}

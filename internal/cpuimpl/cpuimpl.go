@@ -35,6 +35,7 @@ import (
 	"gobeagle/internal/flops"
 	"gobeagle/internal/kernels"
 	"gobeagle/internal/telemetry"
+	"gobeagle/internal/trace"
 )
 
 // Mode selects the CPU execution strategy.
@@ -109,6 +110,8 @@ type Engine[T kernels.Real] struct {
 	minPatterns int
 	pool        *workerPool
 	tel         *telemetry.Collector
+	tr          *trace.Tracer
+	lane        int32
 	closed      bool
 }
 
@@ -127,6 +130,8 @@ func newEngine[T kernels.Real](cfg engine.Config, mode Mode) *Engine[T] {
 		threads:     threads,
 		minPatterns: minPat,
 		tel:         cfg.Telemetry,
+		tr:          cfg.Trace,
+		lane:        int32(cfg.TraceLane),
 	}
 	if mode == ThreadPool || mode == ThreadPoolHybrid {
 		e.pool = newWorkerPool(threads, mode.String())
@@ -252,12 +257,20 @@ func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
 	if err := e.validateOps(ops); err != nil {
 		return err
 	}
-	// Telemetry fast path: one atomic load when disabled, no timestamps taken.
+	// Telemetry/trace fast paths: one atomic load each when disabled, no
+	// timestamps taken.
 	var start time.Time
 	var batch uint64
 	if e.tel.Enabled() {
 		batch = e.tel.NextBatch()
 		start = time.Now()
+	}
+	var tstart int64
+	var tbatch uint64
+	traceOn := e.tr.Enabled()
+	if traceOn {
+		tbatch = e.tr.NextBatch()
+		tstart = e.tr.Now()
 	}
 	p := e.Cfg.Dims.PatternCount
 	var err error
@@ -269,7 +282,7 @@ func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
 			}
 		}
 	case Futures:
-		err = e.runFutures(ops, batch)
+		err = e.runFutures(ops, batch, tbatch)
 	case ThreadCreate:
 		for _, op := range ops {
 			if err = e.runThreadCreate(op); err != nil {
@@ -278,12 +291,12 @@ func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
 		}
 	case ThreadPool:
 		for _, op := range ops {
-			if err = e.runThreadPool(op); err != nil {
+			if err = e.runThreadPool(op, tbatch); err != nil {
 				break
 			}
 		}
 	case ThreadPoolHybrid:
-		err = e.runHybrid(ops, batch)
+		err = e.runHybrid(ops, batch, tbatch)
 	}
 	if err != nil {
 		return err
@@ -292,20 +305,29 @@ func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
 		e.tel.Record(telemetry.KernelPartials, len(ops), time.Since(start))
 		e.tel.AddFlops(flops.PartialsOp(e.Cfg.Dims) * float64(len(ops)))
 	}
+	if traceOn {
+		e.tr.Record(trace.Span{Kind: trace.KindBatch, Lane: e.lane, Batch: tbatch,
+			Start: tstart, Dur: e.tr.Now() - tstart, Arg0: int64(len(ops))})
+	}
 	return nil
 }
 
 // runFutures executes operations level by level; operations within a level
 // are independent in the tree topology and run concurrently, each as one
 // asynchronous task computing its full pattern range (§VI-A).
-func (e *Engine[T]) runFutures(ops []engine.Operation, batch uint64) error {
+func (e *Engine[T]) runFutures(ops []engine.Operation, batch, tbatch uint64) error {
 	levels := opLevels(ops)
 	errs := make([]error, len(ops))
 	idx := 0
+	traceOn := e.tr.Enabled()
 	for li, level := range levels {
 		var lstart time.Time
 		if e.tel.Enabled() {
 			lstart = time.Now()
+		}
+		var ltstart int64
+		if traceOn {
+			ltstart = e.tr.Now()
 		}
 		var wg sync.WaitGroup
 		for _, op := range level {
@@ -319,6 +341,10 @@ func (e *Engine[T]) runFutures(ops []engine.Operation, batch uint64) error {
 		wg.Wait()
 		if !lstart.IsZero() {
 			e.tel.TraceLevel(batch, li, len(level), len(level), time.Since(lstart))
+		}
+		if traceOn {
+			e.tr.Record(trace.Span{Kind: trace.KindLevel, Lane: e.lane, Batch: tbatch,
+				Start: ltstart, Dur: e.tr.Now() - ltstart, Arg0: int64(li), Arg1: int64(len(level))})
 		}
 	}
 	for _, err := range errs {
@@ -363,13 +389,14 @@ func (e *Engine[T]) runThreadCreate(op engine.Operation) error {
 
 // runThreadPool dispatches one operation's pattern chunks onto the
 // persistent worker pool (§VI-C).
-func (e *Engine[T]) runThreadPool(op engine.Operation) error {
+func (e *Engine[T]) runThreadPool(op engine.Operation, tbatch uint64) error {
 	p := e.Cfg.Dims.PatternCount
 	if p < e.minPatterns || e.threads < 2 {
 		return e.runOp(op, 0, p)
 	}
 	n := e.threads
 	errs := make([]error, n)
+	traceOn := e.tr.Enabled()
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		lo := w * p / n
@@ -378,8 +405,15 @@ func (e *Engine[T]) runThreadPool(op engine.Operation) error {
 			continue
 		}
 		wg.Add(1)
-		e.pool.submit(func() {
+		e.pool.submit(func(worker int) {
 			defer wg.Done()
+			if traceOn {
+				ts := e.tr.Now()
+				errs[w] = e.runOp(op, lo, hi)
+				e.tr.Record(trace.Span{Kind: trace.KindTask, Lane: int32(worker), Batch: tbatch,
+					Start: ts, Dur: e.tr.Now() - ts, Arg0: int64(hi - lo)})
+				return
+			}
 			errs[w] = e.runOp(op, lo, hi)
 		})
 	}
@@ -399,10 +433,10 @@ func (e *Engine[T]) runThreadPool(op engine.Operation) error {
 // concurrency), narrow levels split patterns until the pool is saturated,
 // and no chunk is cut below HybridMinChunk patterns — so small-pattern
 // problems with independent operations no longer fall back to serial.
-func (e *Engine[T]) runHybrid(ops []engine.Operation, batch uint64) error {
+func (e *Engine[T]) runHybrid(ops []engine.Operation, batch, tbatch uint64) error {
 	p := e.Cfg.Dims.PatternCount
 	if e.threads < 2 {
-		if !e.tel.Enabled() {
+		if !e.tel.Enabled() && !e.tr.Enabled() {
 			for _, op := range ops {
 				if err := e.runOp(op, 0, p); err != nil {
 					return err
@@ -412,19 +446,28 @@ func (e *Engine[T]) runHybrid(ops []engine.Operation, batch uint64) error {
 		}
 		// Single-threaded fallback: still report the dependency leveling so
 		// the batch tracer stays meaningful on one-core hosts.
+		traceOn := e.tr.Enabled()
 		for li, level := range opLevels(ops) {
 			lstart := time.Now()
+			var ltstart int64
+			if traceOn {
+				ltstart = e.tr.Now()
+			}
 			for _, op := range level {
 				if err := e.runOp(op, 0, p); err != nil {
 					return err
 				}
 			}
 			e.tel.TraceLevel(batch, li, len(level), len(level), time.Since(lstart))
+			if traceOn {
+				e.tr.Record(trace.Span{Kind: trace.KindLevel, Lane: e.lane, Batch: tbatch,
+					Start: ltstart, Dur: e.tr.Now() - ltstart, Arg0: int64(li), Arg1: int64(len(level))})
+			}
 		}
 		return nil
 	}
 	for li, level := range opLevels(ops) {
-		if err := e.runHybridLevel(level, batch, li); err != nil {
+		if err := e.runHybridLevel(level, batch, tbatch, li); err != nil {
 			return err
 		}
 	}
@@ -448,18 +491,29 @@ func HybridChunks(levelWidth, patterns, threads int) int {
 
 // runHybridLevel dispatches one dependency level's (operation, chunk) tasks
 // and waits for the barrier at the end of the level.
-func (e *Engine[T]) runHybridLevel(level []engine.Operation, batch uint64, levelIdx int) error {
+func (e *Engine[T]) runHybridLevel(level []engine.Operation, batch, tbatch uint64, levelIdx int) error {
 	p := e.Cfg.Dims.PatternCount
 	var lstart time.Time
 	if e.tel.Enabled() {
 		lstart = time.Now()
 	}
+	traceOn := e.tr.Enabled()
+	var ltstart int64
+	if traceOn {
+		ltstart = e.tr.Now()
+	}
 	if len(level) == 1 && p < e.minPatterns {
 		// A single small operation gains nothing from chunking; stay serial,
 		// exactly as the plain thread-pool strategy does.
 		err := e.runOp(level[0], 0, p)
-		if err == nil && !lstart.IsZero() {
-			e.tel.TraceLevel(batch, levelIdx, 1, 1, time.Since(lstart))
+		if err == nil {
+			if !lstart.IsZero() {
+				e.tel.TraceLevel(batch, levelIdx, 1, 1, time.Since(lstart))
+			}
+			if traceOn {
+				e.tr.Record(trace.Span{Kind: trace.KindLevel, Lane: e.lane, Batch: tbatch,
+					Start: ltstart, Dur: e.tr.Now() - ltstart, Arg0: int64(levelIdx), Arg1: 1})
+			}
 		}
 		return err
 	}
@@ -477,8 +531,15 @@ func (e *Engine[T]) runHybridLevel(level []engine.Operation, batch uint64, level
 			slot := i*chunks + c
 			tasks++
 			wg.Add(1)
-			e.pool.submit(func() {
+			e.pool.submit(func(worker int) {
 				defer wg.Done()
+				if traceOn {
+					ts := e.tr.Now()
+					errs[slot] = e.runOp(op, lo, hi)
+					e.tr.Record(trace.Span{Kind: trace.KindTask, Lane: int32(worker), Batch: tbatch,
+						Start: ts, Dur: e.tr.Now() - ts, Arg0: int64(hi - lo)})
+					return
+				}
 				errs[slot] = e.runOp(op, lo, hi)
 			})
 		}
@@ -491,6 +552,10 @@ func (e *Engine[T]) runHybridLevel(level []engine.Operation, batch uint64, level
 	}
 	if !lstart.IsZero() {
 		e.tel.TraceLevel(batch, levelIdx, len(level), tasks, time.Since(lstart))
+	}
+	if traceOn {
+		e.tr.Record(trace.Span{Kind: trace.KindLevel, Lane: e.lane, Batch: tbatch,
+			Start: ltstart, Dur: e.tr.Now() - ltstart, Arg0: int64(levelIdx), Arg1: int64(len(level))})
 	}
 	return nil
 }
@@ -584,6 +649,11 @@ func (e *Engine[T]) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float
 	if e.tel.Enabled() {
 		start = time.Now()
 	}
+	var tstart int64
+	traceOn := e.tr.Enabled()
+	if traceOn {
+		tstart = e.tr.Now()
+	}
 	site, scale, err := e.siteLikelihoods(rootBuf, cumScaleBuf)
 	if err != nil {
 		return 0, err
@@ -591,6 +661,10 @@ func (e *Engine[T]) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float
 	lnL := kernels.RootLogLikelihood(site, e.PatWts, scale, 0, len(site))
 	if !start.IsZero() {
 		e.tel.Record(telemetry.KernelRoot, 1, time.Since(start))
+	}
+	if traceOn {
+		e.tr.Record(trace.Span{Kind: trace.KindRoot, Lane: e.lane,
+			Start: tstart, Dur: e.tr.Now() - tstart, Arg0: int64(len(site))})
 	}
 	return lnL, nil
 }
@@ -622,7 +696,7 @@ func (e *Engine[T]) siteLikelihoods(rootBuf, cumScaleBuf int) (site, scale []flo
 				continue
 			}
 			wg.Add(1)
-			e.pool.submit(func() {
+			e.pool.submit(func(int) {
 				defer wg.Done()
 				kernels.SiteLikelihoods(site, root, e.CatWts, e.Freqs, d, lo, hi)
 			})

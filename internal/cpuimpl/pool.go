@@ -8,11 +8,13 @@ import (
 )
 
 // workerPool is a fixed set of persistent worker goroutines fed through a
-// channel — the C++ thread-pool of §VI-C. Tasks are arbitrary closures;
-// callers coordinate completion themselves (typically with a WaitGroup), so
-// one pool serves both partials operations and root-likelihood integration.
+// channel — the C++ thread-pool of §VI-C. Tasks are closures receiving the
+// executing worker's index (so the span tracer can attribute tasks to worker
+// lanes); callers coordinate completion themselves (typically with a
+// WaitGroup), so one pool serves both partials operations and root-likelihood
+// integration.
 type workerPool struct {
-	jobs chan func()
+	jobs chan func(worker int)
 	done sync.WaitGroup
 }
 
@@ -20,14 +22,14 @@ type workerPool struct {
 // labels (implementation name and worker index) so CPU profiles attribute
 // kernel time to the owning pool instead of an anonymous goroutine.
 func newWorkerPool(workers int, impl string) *workerPool {
-	p := &workerPool{jobs: make(chan func(), workers*4)}
+	p := &workerPool{jobs: make(chan func(int), workers*4)}
 	p.done.Add(workers)
 	for i := 0; i < workers; i++ {
 		labels := pprof.Labels("beagle_impl", impl, "beagle_worker", strconv.Itoa(i))
 		go pprof.Do(context.Background(), labels, func(context.Context) {
 			defer p.done.Done()
 			for job := range p.jobs {
-				job()
+				job(i)
 			}
 		})
 	}
@@ -37,7 +39,7 @@ func newWorkerPool(workers int, impl string) *workerPool {
 // submit enqueues a task; it blocks only when the queue is full.
 //
 //beagle:noalloc
-func (p *workerPool) submit(job func()) { p.jobs <- job }
+func (p *workerPool) submit(job func(worker int)) { p.jobs <- job }
 
 // close stops the workers after draining queued tasks.
 func (p *workerPool) close() {

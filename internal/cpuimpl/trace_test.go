@@ -1,0 +1,143 @@
+package cpuimpl
+
+import (
+	"testing"
+	"time"
+
+	"gobeagle/internal/engine"
+	"gobeagle/internal/trace"
+)
+
+// TestTraceSpansInEveryMode checks every CPU scheduling strategy emits a
+// batch span per UpdatePartials and a root span per likelihood integration,
+// and that the leveled strategies additionally emit level spans whose op
+// counts sum to the batch's operations.
+func TestTraceSpansInEveryMode(t *testing.T) {
+	tr, m, rates, ps := telemetryProblem(t)
+	for _, mode := range Modes() {
+		tc := trace.New()
+		tc.SetEnabled(true)
+		cfg := testConfig(tr, 4, ps.PatternCount(), 4, false)
+		cfg.Trace = tc
+		e, err := New(cfg, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveEngine(t, e, tr, m, rates, ps, true, false)
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		spans := tc.Snapshot()
+		byKind := map[trace.Kind][]trace.Span{}
+		for _, s := range spans {
+			byKind[s.Kind] = append(byKind[s.Kind], s)
+			if s.Dur < 0 || s.Start < 0 {
+				t.Errorf("%v: span with negative time: %+v", mode, s)
+			}
+		}
+		if len(byKind[trace.KindBatch]) == 0 {
+			t.Errorf("%v: no batch span", mode)
+		}
+		if len(byKind[trace.KindRoot]) == 0 {
+			t.Errorf("%v: no root span", mode)
+		}
+		if len(byKind[trace.KindMatrices]) == 0 {
+			t.Errorf("%v: no matrices span", mode)
+		}
+		if mode == Futures || mode == ThreadPoolHybrid {
+			var ops int64
+			for _, s := range byKind[trace.KindLevel] {
+				ops += s.Arg1
+			}
+			if ops != int64(tr.TipCount-1) {
+				t.Errorf("%v: level span ops sum to %d, want %d", mode, ops, tr.TipCount-1)
+			}
+		}
+		if mode == ThreadPool || mode == ThreadPoolHybrid {
+			if len(byKind[trace.KindTask]) == 0 {
+				t.Errorf("%v: pool strategy emitted no worker task spans", mode)
+			}
+			for _, s := range byKind[trace.KindTask] {
+				if s.Lane < 0 {
+					t.Errorf("%v: task span without worker lane: %+v", mode, s)
+				}
+			}
+		}
+	}
+}
+
+// TestTraceDisabledAndNilRecordNothing mirrors the telemetry contract: a
+// disabled or absent tracer must leave no spans behind.
+func TestTraceDisabledAndNilRecordNothing(t *testing.T) {
+	tr, m, rates, ps := telemetryProblem(t)
+	disabled := trace.New()
+	for _, tc := range []*trace.Tracer{disabled, nil} {
+		cfg := testConfig(tr, 4, ps.PatternCount(), 4, false)
+		cfg.Trace = tc
+		e, err := New(cfg, ThreadPoolHybrid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveEngine(t, e, tr, m, rates, ps, true, false)
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if spans := disabled.Snapshot(); len(spans) != 0 {
+		t.Fatalf("disabled tracer recorded %d spans", len(spans))
+	}
+}
+
+// TestTraceDisabledOverhead is the tracer's counterpart of
+// TestTelemetryDisabledOverhead: an engine carrying a disabled tracer must
+// run UpdatePartials within noise of an engine with no tracer at all. The
+// threshold matches the telemetry test's deliberately loose 50% so shared-CI
+// scheduler noise cannot flake it; the per-call budget is pinned by
+// BenchmarkDisabledGuard in internal/trace.
+func TestTraceDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	tr, m, rates, ps := telemetryProblem(t)
+
+	eval := func(tc *trace.Tracer) time.Duration {
+		cfg := testConfig(tr, 4, ps.PatternCount(), 4, false)
+		cfg.Trace = tc
+		e, err := New(cfg, Serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		sched := tr.FullSchedule()
+		ops := make([]engine.Operation, len(sched.Ops))
+		for i, op := range sched.Ops {
+			ops[i] = engine.Operation{
+				Dest: op.Dest, DestScaleWrite: engine.None, DestScaleRead: engine.None,
+				Child1: op.Child1, Child1Mat: op.Child1Mat,
+				Child2: op.Child2, Child2Mat: op.Child2Mat,
+			}
+		}
+		driveEngine(t, e, tr, m, rates, ps, true, false)
+		best := time.Duration(1<<63 - 1)
+		for rep := 0; rep < 30; rep++ {
+			start := time.Now()
+			if err := e.UpdatePartials(ops); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	baseline := eval(nil)
+	disabled := eval(trace.New())
+	if baseline <= 0 {
+		t.Skip("timer resolution too coarse for comparison")
+	}
+	if ratio := float64(disabled) / float64(baseline); ratio > 1.5 {
+		t.Errorf("disabled tracer overhead %.1f%% (baseline %v, disabled %v)",
+			100*(ratio-1), baseline, disabled)
+	}
+}

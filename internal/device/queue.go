@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"gobeagle/internal/trace"
 )
 
 // Cost describes the useful work of one kernel launch for the performance
@@ -42,6 +44,17 @@ type Queue struct {
 	launches     atomic.Int64
 	transfers    atomic.Int64
 	bytesMoved   atomic.Int64
+	tr           *trace.Tracer
+	lane         int32
+}
+
+// SetTracer attaches a span tracer. Kernel and transfer spans are stamped on
+// the queue's modeled device clock (which starts at zero), not host wall
+// time, so the trace shows what the performance model charged each launch —
+// the device process in the exported timeline is labeled accordingly.
+func (q *Queue) SetTracer(tr *trace.Tracer, lane int32) {
+	q.tr = tr
+	q.lane = lane
 }
 
 // SetDryRun toggles dry-run mode: kernel launches charge the modeled clock
@@ -109,8 +122,13 @@ func (q *Queue) LaunchKernel(l Launch, c Cost, body func(workItem int)) error {
 		})
 		q.hostNanos.Add(int64(time.Since(start)))
 	}
-	q.modeledNanos.Add(int64(q.modelKernel(c, padded, l.Global)))
+	charge := int64(q.modelKernel(c, padded, l.Global))
+	end := q.modeledNanos.Add(charge)
 	q.launches.Add(1)
+	if q.tr.Enabled() {
+		q.tr.Record(trace.Span{Kind: trace.KindKernel, Lane: q.lane,
+			Start: end - charge, Dur: charge, Arg0: int64(l.Global), Arg1: int64(groups)})
+	}
 	return nil
 }
 
@@ -149,5 +167,10 @@ func chargeTransfer[T Elem](q *Queue, n int, b *Buffer[T]) {
 	bytes := int64(n) * int64(elemSize(zero))
 	q.bytesMoved.Add(bytes)
 	q.transfers.Add(1)
-	q.modeledNanos.Add(int64(q.modelTransfer(float64(bytes))))
+	charge := int64(q.modelTransfer(float64(bytes)))
+	end := q.modeledNanos.Add(charge)
+	if q.tr.Enabled() {
+		q.tr.Record(trace.Span{Kind: trace.KindTransfer, Lane: q.lane,
+			Start: end - charge, Dur: charge, Arg0: bytes})
+	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"gobeagle/internal/kernels"
 	"gobeagle/internal/telemetry"
+	"gobeagle/internal/trace"
 )
 
 // None marks an unused index field in an Operation (no rescaling, for
@@ -54,6 +55,16 @@ type Config struct {
 	// accounting and scheduler level traces from the implementation. A nil
 	// collector (or a disabled one) must cost nothing on the hot paths.
 	Telemetry *telemetry.Collector
+	// Trace, when non-nil, receives timeline spans (scheduler batches and
+	// levels, worker tasks, device kernel launches and transfers, multi-
+	// device barriers and migrations). Unlike Telemetry, a parent engine
+	// shares its tracer with its sub-engines — spans carry lanes, so
+	// concurrent backends do not double count, they interleave. A nil or
+	// disabled tracer must cost nothing on the hot paths.
+	Trace *trace.Tracer
+	// TraceLane attributes this engine's spans to one lane (thread track)
+	// of the trace: multi-device parents assign each backend its index.
+	TraceLane int
 }
 
 // Validate reports configuration errors.

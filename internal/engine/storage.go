@@ -6,6 +6,7 @@ import (
 
 	"gobeagle/internal/kernels"
 	"gobeagle/internal/telemetry"
+	"gobeagle/internal/trace"
 )
 
 // Storage is the flexibly indexed buffer store shared by host-side
@@ -271,6 +272,11 @@ func (s *Storage[T]) UpdateTransitionMatrices(eigenSlot int, matrices []int, edg
 	if s.Cfg.Telemetry.Enabled() {
 		start = time.Now()
 	}
+	var tstart int64
+	traceOn := s.Cfg.Trace.Enabled()
+	if traceOn {
+		tstart = s.Cfg.Trace.Now()
+	}
 	for i, m := range matrices {
 		if s.Matrices[m] == nil {
 			s.Matrices[m] = make([]T, s.Cfg.Dims.MatrixLen())
@@ -279,6 +285,10 @@ func (s *Storage[T]) UpdateTransitionMatrices(eigenSlot int, matrices []int, edg
 	}
 	if !start.IsZero() {
 		s.Cfg.Telemetry.Record(telemetry.KernelMatrices, len(matrices), time.Since(start))
+	}
+	if traceOn {
+		s.Cfg.Trace.Record(trace.Span{Kind: trace.KindMatrices, Lane: int32(s.Cfg.TraceLane),
+			Start: tstart, Dur: s.Cfg.Trace.Now() - tstart, Arg0: int64(len(matrices))})
 	}
 	return nil
 }
@@ -316,6 +326,11 @@ func (s *Storage[T]) UpdateTransitionDerivatives(eigenSlot int, d1Matrices, d2Ma
 	if s.Cfg.Telemetry.Enabled() {
 		start = time.Now()
 	}
+	var tstart int64
+	traceOn := s.Cfg.Trace.Enabled()
+	if traceOn {
+		tstart = s.Cfg.Trace.Now()
+	}
 	for i, m := range d1Matrices {
 		if s.Matrices[m] == nil {
 			s.Matrices[m] = make([]T, s.Cfg.Dims.MatrixLen())
@@ -331,6 +346,10 @@ func (s *Storage[T]) UpdateTransitionDerivatives(eigenSlot int, d1Matrices, d2Ma
 	}
 	if !start.IsZero() {
 		s.Cfg.Telemetry.Record(telemetry.KernelDerivatives, len(d1Matrices), time.Since(start))
+	}
+	if traceOn {
+		s.Cfg.Trace.Record(trace.Span{Kind: trace.KindDerivatives, Lane: int32(s.Cfg.TraceLane),
+			Start: tstart, Dur: s.Cfg.Trace.Now() - tstart, Arg0: int64(len(d1Matrices))})
 	}
 	return nil
 }

@@ -26,6 +26,7 @@ import (
 	"gobeagle/internal/engine"
 	"gobeagle/internal/flops"
 	"gobeagle/internal/telemetry"
+	"gobeagle/internal/trace"
 )
 
 // Builder constructs a backend engine for one pattern slice. The passed
@@ -124,8 +125,12 @@ func NewBalanced(cfg engine.Config, builders []Builder, shares []float64, opts O
 		sub.Dims.PatternCount = e.hi[i] - e.lo[i]
 		// The parent engine records batch wall times spanning all backends;
 		// letting sub-engines also record into the same collector would double
-		// count concurrent work, so sub-configurations get no telemetry.
+		// count concurrent work, so sub-configurations get no telemetry. The
+		// span tracer is different: spans carry lanes, so sub-engines share
+		// the parent's tracer and each backend gets its index as its lane —
+		// the exported timeline shows the backends side by side.
 		sub.Telemetry = nil
+		sub.TraceLane = i
 		eng, err := b(sub)
 		if err != nil {
 			for _, s := range e.subs {
@@ -360,13 +365,29 @@ func (e *Engine) UpdatePartials(ops []engine.Operation) error {
 		tel.NextBatch()
 		start = time.Now()
 	}
+	tr := e.cfg.Trace
+	traceOn := tr.Enabled()
+	var tstart int64
+	var tbatch uint64
+	if traceOn {
+		tbatch = tr.NextBatch()
+		tstart = tr.Now()
+	}
 	var err error
 	if e.reb != nil {
 		elapsed := make([]time.Duration, len(e.subs))
 		err = e.parallel(func(i int, sub engine.Engine) error {
 			t0 := time.Now()
+			var ts int64
+			if traceOn {
+				ts = tr.Now()
+			}
 			err := sub.UpdatePartials(ops)
 			elapsed[i] = time.Since(t0)
+			if traceOn {
+				tr.Record(trace.Span{Kind: trace.KindBackend, Lane: int32(i), Batch: tbatch,
+					Start: ts, Dur: tr.Now() - ts, Arg0: int64(len(ops)), Arg1: int64(e.hi[i] - e.lo[i])})
+			}
 			return err
 		})
 		if err == nil {
@@ -376,13 +397,26 @@ func (e *Engine) UpdatePartials(ops []engine.Operation) error {
 			err = e.maybeRebalance()
 		}
 	} else {
-		err = e.parallel(func(_ int, sub engine.Engine) error {
-			return sub.UpdatePartials(ops)
+		err = e.parallel(func(i int, sub engine.Engine) error {
+			var ts int64
+			if traceOn {
+				ts = tr.Now()
+			}
+			err := sub.UpdatePartials(ops)
+			if traceOn {
+				tr.Record(trace.Span{Kind: trace.KindBackend, Lane: int32(i), Batch: tbatch,
+					Start: ts, Dur: tr.Now() - ts, Arg0: int64(len(ops)), Arg1: int64(e.hi[i] - e.lo[i])})
+			}
+			return err
 		})
 	}
 	if err == nil && !start.IsZero() {
 		tel.Record(telemetry.KernelPartials, len(ops), time.Since(start))
 		tel.AddFlops(flops.PartialsOp(e.cfg.Dims) * float64(len(ops)))
+	}
+	if err == nil && traceOn {
+		tr.Record(trace.Span{Kind: trace.KindBarrier, Lane: -1, Batch: tbatch,
+			Start: tstart, Dur: tr.Now() - tstart, Arg0: int64(len(e.subs)), Arg1: int64(len(ops))})
 	}
 	return err
 }

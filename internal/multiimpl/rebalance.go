@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gobeagle/internal/engine"
+	"gobeagle/internal/trace"
 )
 
 // This file implements the adaptive rebalancer: the step from the paper's
@@ -180,6 +181,12 @@ func (e *Engine) maybeRebalance() error {
 	if !r.due() {
 		return nil
 	}
+	tr := e.cfg.Trace
+	traceOn := tr.Enabled()
+	var tstart int64
+	if traceOn {
+		tstart = tr.Now()
+	}
 	p := e.cfg.Dims.PatternCount
 	newLo, newHi := partition(p, r.ewma)
 	speedup := r.predictSpeedup(e.lo, e.hi, newLo, newHi)
@@ -190,6 +197,12 @@ func (e *Engine) maybeRebalance() error {
 	moved, err := e.migrate(newHi)
 	if err != nil {
 		return fmt.Errorf("multiimpl: rebalance migration: %w", err)
+	}
+	if traceOn {
+		// Speedup ×1000 rides in Arg1 so the integer span args can carry it.
+		tr.Record(trace.Span{Kind: trace.KindRebalance, Lane: -1,
+			Start: tstart, Dur: tr.Now() - tstart,
+			Arg0: int64(moved), Arg1: int64(speedup * 1000)})
 	}
 	if moved == 0 {
 		return nil
@@ -226,17 +239,37 @@ func (e *Engine) maybeRebalance() error {
 func (e *Engine) migrate(newHi []int) (int, error) {
 	n := len(e.subs)
 	moved := 0
+	tr := e.cfg.Trace
+	traceOn := tr.Enabled()
+	// step performs one boundary move and traces it: the span lands on the
+	// receiving backend's lane, Arg0 carries patterns moved, Arg1 the donor.
+	step := func(from, to, span int, move func() error) error {
+		var ts int64
+		if traceOn {
+			ts = tr.Now()
+		}
+		if err := move(); err != nil {
+			return err
+		}
+		if traceOn {
+			tr.Record(trace.Span{Kind: trace.KindMigrate, Lane: int32(to),
+				Start: ts, Dur: tr.Now() - ts, Arg0: int64(span), Arg1: int64(from)})
+		}
+		return nil
+	}
 	// Phase 1: boundaries moving up, right to left.
 	for b := n - 2; b >= 0; b-- {
 		if newHi[b] <= e.hi[b] {
 			continue
 		}
 		span := newHi[b] - e.hi[b]
-		blk, err := e.subs[b+1].(engine.PatternMigrator).DetachPatterns(false, span)
-		if err != nil {
-			return moved, err
-		}
-		if err := e.subs[b].(engine.PatternMigrator).AttachPatterns(true, blk); err != nil {
+		if err := step(b+1, b, span, func() error {
+			blk, err := e.subs[b+1].(engine.PatternMigrator).DetachPatterns(false, span)
+			if err != nil {
+				return err
+			}
+			return e.subs[b].(engine.PatternMigrator).AttachPatterns(true, blk)
+		}); err != nil {
 			return moved, err
 		}
 		e.hi[b] = newHi[b]
@@ -249,11 +282,13 @@ func (e *Engine) migrate(newHi []int) (int, error) {
 			continue
 		}
 		span := e.hi[b] - newHi[b]
-		blk, err := e.subs[b].(engine.PatternMigrator).DetachPatterns(true, span)
-		if err != nil {
-			return moved, err
-		}
-		if err := e.subs[b+1].(engine.PatternMigrator).AttachPatterns(false, blk); err != nil {
+		if err := step(b, b+1, span, func() error {
+			blk, err := e.subs[b].(engine.PatternMigrator).DetachPatterns(true, span)
+			if err != nil {
+				return err
+			}
+			return e.subs[b+1].(engine.PatternMigrator).AttachPatterns(false, blk)
+		}); err != nil {
 			return moved, err
 		}
 		e.hi[b] = newHi[b]

@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"gobeagle/internal/flops"
+)
+
+// Zero-division guards: mean and GFLOPS accessors must yield zero, never
+// panic or return NaN/Inf, for empty or zero-duration stats.
+
+func TestKernelStatsMeansGuardZero(t *testing.T) {
+	var empty KernelStats
+	if got := empty.MeanPerOp(); got != 0 {
+		t.Errorf("MeanPerOp on zero stats = %v, want 0", got)
+	}
+	if got := empty.MeanPerCall(); got != 0 {
+		t.Errorf("MeanPerCall on zero stats = %v, want 0", got)
+	}
+	// Calls without ops (and vice versa): only the populated mean divides.
+	callsOnly := KernelStats{Calls: 3, Total: 300}
+	if got := callsOnly.MeanPerOp(); got != 0 {
+		t.Errorf("MeanPerOp with zero ops = %v, want 0", got)
+	}
+	if got := callsOnly.MeanPerCall(); got != 100 {
+		t.Errorf("MeanPerCall = %v, want 100", got)
+	}
+	opsOnly := KernelStats{Ops: 4, Total: 400}
+	if got := opsOnly.MeanPerCall(); got != 0 {
+		t.Errorf("MeanPerCall with zero calls = %v, want 0", got)
+	}
+	if got := opsOnly.MeanPerOp(); got != 100 {
+		t.Errorf("MeanPerOp = %v, want 100", got)
+	}
+}
+
+func TestGFLOPSGuardsZeroAndNegativeDuration(t *testing.T) {
+	for _, d := range []time.Duration{0, -time.Second} {
+		if got := flops.GFLOPS(1e12, d); got != 0 {
+			t.Errorf("GFLOPS(1e12, %v) = %v, want 0", d, got)
+		}
+	}
+	if got := flops.GFLOPS(2e9, time.Second); got != 2 {
+		t.Errorf("GFLOPS(2e9, 1s) = %v, want 2", got)
+	}
+}
+
+// TestSnapshotZeroDurationPartials covers the EffectiveGFLOPS path when flops
+// were accounted but the partials kernel recorded zero wall time (possible on
+// coarse clocks): the snapshot must report 0, not +Inf.
+func TestSnapshotZeroDurationPartials(t *testing.T) {
+	c := New()
+	c.SetEnabled(true)
+	c.AddFlops(1e9)
+	c.Record(KernelPartials, 10, 0)
+	snap := c.Snapshot()
+	if snap.EffectiveGFLOPS != 0 {
+		t.Errorf("EffectiveGFLOPS with zero partials wall time = %v, want 0", snap.EffectiveGFLOPS)
+	}
+	ks := snap.Kernel(KernelPartials)
+	if ks.MeanPerOp() != 0 || ks.MeanPerCall() != 0 {
+		t.Errorf("zero-duration kernel means = %v/%v, want 0/0", ks.MeanPerOp(), ks.MeanPerCall())
+	}
+}

@@ -60,6 +60,8 @@ func NewMultiDeviceInstance(cfg Config, resourceIDs []int, shares []float64) (*I
 	}
 	tel := newInstanceCollector(cfg.Flags)
 	ecfg.Telemetry = tel
+	tr := newInstanceTracer(cfg.Flags)
+	ecfg.Trace = tr
 	builders := make([]multiimpl.Builder, len(selected))
 	for i, rsc := range selected {
 		rsc := rsc
@@ -75,7 +77,7 @@ func NewMultiDeviceInstance(cfg Config, resourceIDs []int, shares []float64) (*I
 		return nil, err
 	}
 	tel.SetLabels(eng.Name(), "multi-device")
-	return &Instance{cfg: cfg, eng: eng, rsc: selected[0], tel: tel}, nil
+	return &Instance{cfg: cfg, eng: eng, rsc: selected[0], tel: tel, tr: tr}, nil
 }
 
 // throughputShare estimates a resource's relative likelihood throughput at

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Regenerates the committed benchmark baselines under bench/baselines/.
+# Run this after an intentional performance change (or on a new reference
+# machine), inspect the diff, and commit the updated BENCH_*.json files;
+# scripts/bench_gate.sh gates CI runs against them.
+#
+# fig4smoke throughput comes from the calibrated performance models and is
+# fully deterministic; rebalance speedups are measured wall-clock ratios with
+# a few percent of run-to-run noise, which the gate's wider rebalance
+# tolerance absorbs.
+set -eu
+
+ROOT=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
+OUT="$ROOT/bench/baselines"
+
+mkdir -p "$OUT"
+echo "== regenerating baselines into $OUT"
+go -C "$ROOT" run ./cmd/beaglebench -experiment fig4smoke -json "$OUT" >/dev/null
+go -C "$ROOT" run ./cmd/beaglebench -experiment rebalance -json "$OUT" >/dev/null
+ls -l "$OUT"
+echo "baselines regenerated; review the diff before committing"

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Benchmark regression gate: reruns the gated experiments and compares each
+# record against the committed baselines in bench/baselines/, failing (exit
+# nonzero) on any throughput regression beyond tolerance or on baseline
+# records the current run no longer produces. Used by the CI bench-smoke job;
+# regenerate baselines with scripts/bench_baseline.sh after intentional
+# performance changes.
+set -eu
+
+ROOT=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
+BASELINES="$ROOT/bench/baselines"
+
+if [ ! -d "$BASELINES" ]; then
+    echo "bench_gate: no baselines at $BASELINES (run scripts/bench_baseline.sh)" >&2
+    exit 1
+fi
+
+SECTION="startup"
+trap 'status=$?; if [ "$status" -ne 0 ]; then echo "FAILED in section: $SECTION (exit $status)" >&2; fi' EXIT
+
+section() {
+    SECTION=$1
+    echo "== $SECTION"
+}
+
+# fig4smoke throughput is computed from the calibrated device and CPU
+# performance models, so it is deterministic and gated at the default 10%.
+section "gate fig4smoke"
+go -C "$ROOT" run ./cmd/beaglebench -experiment fig4smoke -compare "$BASELINES" >/dev/null
+
+# rebalance speedups are measured wall-clock ratios with a few percent of
+# scheduler noise; 30% tolerance still catches the failure this experiment
+# guards against — the adaptive speedup collapsing toward 1.0 (a -55% move).
+section "gate rebalance"
+go -C "$ROOT" run ./cmd/beaglebench -experiment rebalance -compare "$BASELINES" -tolerance 0.30 >/dev/null
+
+SECTION="done"
+echo "benchmark gate passed"

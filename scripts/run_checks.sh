@@ -56,5 +56,12 @@ section "genomictest -stats smoke"
 stats_out=$(go -C "$ROOT" run ./cmd/genomictest -stats -taxa 8 -patterns 200 -reps 1 -threading hybrid)
 echo "$stats_out" | grep -q 'telemetry:'
 
+# Trace smoke: -trace must produce a schema-valid multi-layer timeline.
+section "genomictest -trace smoke"
+trace_tmp=$(mktemp)
+go -C "$ROOT" run ./cmd/genomictest -taxa 8 -patterns 200 -reps 1 -threading hybrid -trace "$trace_tmp" >/dev/null
+go -C "$ROOT" run ./cmd/beagletrace -require-layers "scheduler,storage" "$trace_tmp" >/dev/null
+rm -f "$trace_tmp"
+
 SECTION="done"
 echo "all checks passed"

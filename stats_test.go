@@ -80,6 +80,24 @@ func TestStatsThroughPublicAPI(t *testing.T) {
 	}
 }
 
+func TestKernelStatsZeroGuards(t *testing.T) {
+	var empty KernelStats
+	if empty.MeanPerOp() != 0 || empty.MeanPerCall() != 0 {
+		t.Errorf("zero KernelStats means = %v/%v, want 0/0", empty.MeanPerOp(), empty.MeanPerCall())
+	}
+	k := KernelStats{Ops: 5, Calls: 0, Total: 500}
+	if k.MeanPerCall() != 0 {
+		t.Errorf("MeanPerCall with zero calls = %v, want 0", k.MeanPerCall())
+	}
+	if k.MeanPerOp() != 100 {
+		t.Errorf("MeanPerOp = %v, want 100", k.MeanPerOp())
+	}
+	// A freshly created instance must report finite, zero GFLOPS.
+	if s := (Stats{}); s.EffectiveGFLOPS != 0 {
+		t.Errorf("zero Stats EffectiveGFLOPS = %v", s.EffectiveGFLOPS)
+	}
+}
+
 func TestTelemetryRuntimeToggle(t *testing.T) {
 	tr, m, rates, ps := statsProblem(t)
 	inst, err := NewInstance(instanceConfig(tr, 4, ps.PatternCount(), 4, 0, 0))

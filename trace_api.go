@@ -1,0 +1,52 @@
+package gobeagle
+
+import (
+	"io"
+
+	"gobeagle/internal/trace"
+)
+
+// This file is the public surface of the span tracer (internal/trace): a
+// timeline counterpart to the aggregate counters of Stats. When tracing is
+// on, every layer of an instance records spans into per-shard ring buffers —
+// the CPU scheduler its batches, dependency levels and per-worker tasks; the
+// accelerator framework its kernel launches and host↔device transfers on the
+// modeled device clock; multi-device instances their batch barriers,
+// per-backend execution, rebalance decisions and pattern migrations — and
+// TraceJSON exports the retained window as a Chrome trace-event document
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Tracing is off unless the instance was created with FlagTrace or
+// EnableTrace(true) was called. Disabled tracing costs one atomic load per
+// instrumented site, the same contract the telemetry layer keeps.
+
+// EnableTrace switches span collection on or off at runtime. The span
+// buffers retain the most recent trace.TraceCapacity spans; Perfetto-scale
+// runs should export shortly after the region of interest.
+func (in *Instance) EnableTrace(on bool) { in.tr.SetEnabled(on) }
+
+// TraceEnabled reports whether span collection is currently on.
+func (in *Instance) TraceEnabled() bool { return in.tr.Enabled() }
+
+// ResetTrace discards all retained spans; the enabled switch is unchanged.
+func (in *Instance) ResetTrace() { in.tr.Reset() }
+
+// TraceSpanCount returns the number of currently retained spans.
+func (in *Instance) TraceSpanCount() int { return len(in.tr.Snapshot()) }
+
+// TraceJSON writes the retained spans as a Chrome trace-event JSON document.
+// Processes group spans by layer (scheduler, workers, device, multi-device,
+// storage) and threads carry lanes (worker index, backend index). Note the
+// device process is stamped on the modeled device clock, which starts at
+// zero — its spans align with each other, not with host-side spans.
+func (in *Instance) TraceJSON(w io.Writer) error {
+	return trace.WriteJSON(w, in.tr.Snapshot())
+}
+
+// newInstanceTracer builds the tracer every instance carries: always present
+// so tracing can be toggled at runtime, enabled only when FlagTrace is set.
+func newInstanceTracer(flags Flags) *trace.Tracer {
+	tr := trace.New()
+	tr.SetEnabled(flags&FlagTrace != 0)
+	return tr
+}

@@ -1,0 +1,171 @@
+package gobeagle
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// traceLayers parses a Chrome trace-event document and returns the set of
+// process (layer) names plus the number of complete ("X") events.
+func traceLayers(t *testing.T, doc []byte) (map[string]bool, int) {
+	t.Helper()
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	layers := map[string]bool{}
+	spans := 0
+	for _, ev := range parsed.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			if ev["name"] == "process_name" {
+				layers[ev["args"].(map[string]any)["name"].(string)] = true
+			}
+		case "X":
+			spans++
+		}
+	}
+	return layers, spans
+}
+
+func TestTraceThroughPublicAPI(t *testing.T) {
+	tr, m, rates, ps := statsProblem(t)
+	inst, err := NewInstance(instanceConfig(tr, 4, ps.PatternCount(), 4, 0,
+		FlagTrace|FlagThreadingThreadPoolHybrid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Finalize()
+	if !inst.TraceEnabled() {
+		t.Fatal("FlagTrace did not enable tracing")
+	}
+	evaluateTree(t, inst, tr, m, rates, ps)
+
+	var buf bytes.Buffer
+	if err := inst.TraceJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	layers, spans := traceLayers(t, buf.Bytes())
+	if spans == 0 || inst.TraceSpanCount() == 0 {
+		t.Fatal("traced evaluation produced no spans")
+	}
+	for _, want := range []string{"scheduler", "storage"} {
+		if !layers[want] {
+			t.Errorf("trace missing layer %q (got %v)", want, layers)
+		}
+	}
+
+	inst.ResetTrace()
+	if inst.TraceSpanCount() != 0 {
+		t.Error("ResetTrace retained spans")
+	}
+	if !inst.TraceEnabled() {
+		t.Error("ResetTrace disabled tracing")
+	}
+}
+
+func TestTraceRuntimeToggle(t *testing.T) {
+	tr, m, rates, ps := statsProblem(t)
+	inst, err := NewInstance(instanceConfig(tr, 4, ps.PatternCount(), 4, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Finalize()
+	if inst.TraceEnabled() {
+		t.Fatal("tracing enabled without FlagTrace")
+	}
+	evaluateTree(t, inst, tr, m, rates, ps)
+	if n := inst.TraceSpanCount(); n != 0 {
+		t.Fatalf("disabled tracer retained %d spans", n)
+	}
+	inst.EnableTrace(true)
+	evaluateTree(t, inst, tr, m, rates, ps)
+	if inst.TraceSpanCount() == 0 {
+		t.Fatal("runtime-enabled tracer recorded nothing")
+	}
+	inst.EnableTrace(false)
+	n := inst.TraceSpanCount()
+	evaluateTree(t, inst, tr, m, rates, ps)
+	if inst.TraceSpanCount() != n {
+		t.Fatal("recording continued after EnableTrace(false)")
+	}
+}
+
+// TestTraceMultiDeviceLayers is the acceptance shape of the tracer: a
+// multi-device instance spanning the host CPU and an accelerator must export
+// spans from at least three layers — multi-device coordination, the CPU
+// scheduler, and the modeled device clock.
+func TestTraceMultiDeviceLayers(t *testing.T) {
+	tr, m, rates, ps := statsProblem(t)
+	inst, err := NewMultiDeviceInstance(instanceConfig(tr, 4, ps.PatternCount(), 4, 0,
+		FlagTrace|FlagPrecisionSingle|FlagThreadingThreadPoolHybrid), []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Finalize()
+	evaluateTree(t, inst, tr, m, rates, ps)
+
+	var buf bytes.Buffer
+	if err := inst.TraceJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	layers, spans := traceLayers(t, buf.Bytes())
+	if spans == 0 {
+		t.Fatal("multi-device trace is empty")
+	}
+	for _, want := range []string{"multi-device", "scheduler", "device (modeled clock)"} {
+		if !layers[want] {
+			t.Errorf("multi-device trace missing layer %q (got %v)", want, layers)
+		}
+	}
+}
+
+// TestStatsSnapshotUnderConcurrentRecording drives evaluations from one
+// goroutine while another snapshots Stats, asserting each observed batch
+// counter is monotonically non-decreasing. Run under -race this also proves
+// the snapshot path touches no unsynchronized state.
+func TestStatsSnapshotUnderConcurrentRecording(t *testing.T) {
+	tr, m, rates, ps := statsProblem(t)
+	inst, err := NewInstance(instanceConfig(tr, 4, ps.PatternCount(), 4, 0,
+		FlagTelemetry|FlagTrace|FlagThreadingThreadPool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Finalize()
+
+	const rounds = 20
+	var wg sync.WaitGroup
+	wg.Add(1)
+	done := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < rounds; i++ {
+			evaluateTree(t, inst, tr, m, rates, ps)
+		}
+	}()
+	var last uint64
+	for {
+		s := inst.Stats()
+		if s.Batches < last {
+			t.Errorf("batch counter went backwards: %d after %d", s.Batches, last)
+			break
+		}
+		last = s.Batches
+		inst.TraceSpanCount() // concurrent snapshot of the span rings too
+		select {
+		case <-done:
+			wg.Wait()
+			if final := inst.Stats(); final.Batches != rounds {
+				t.Fatalf("final batches = %d, want %d", final.Batches, rounds)
+			}
+			return
+		default:
+		}
+	}
+	wg.Wait()
+}
