@@ -18,7 +18,7 @@
 //
 // Usage:
 //
-//	beaglebench -experiment table3|table3hybrid|table4|table5|fig4|fig4smoke|fig5|fig6|rebalance|all
+//	beaglebench -experiment table3|table3hybrid|table4|table5|fig4|fig4smoke|fig5|fig6|rebalance|mcmcreuse|all
 //	            [-json DIR] [-compare PATH [-tolerance FRAC]] [-trace FILE]
 package main
 
@@ -34,7 +34,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table3, table3hybrid, table4, table5, fig4, fig4smoke, fig5, fig6, rebalance, or all")
+	experiment := flag.String("experiment", "all", "table3, table3hybrid, table4, table5, fig4, fig4smoke, fig5, fig6, rebalance, mcmcreuse, or all")
 	jsonDir := flag.String("json", "", "directory to also write machine-readable BENCH_<experiment>.json reports")
 	compare := flag.String("compare", "", "baseline directory (or single BENCH_<experiment>.json) to gate each experiment against")
 	tolerance := flag.Float64("tolerance", benchmarks.DefaultTolerance, "relative regression tolerance for -compare")
@@ -51,10 +51,12 @@ func main() {
 		"fig5":         runFig5,
 		"fig6":         runFig6,
 		"rebalance":    runRebalance,
+		"mcmcreuse":    runMcmcReuse,
 	}
 	// fig4smoke is a reduced sweep for CI smoke runs; "all" keeps the paper's
-	// full experiment set plus the §IX rebalance demonstration.
-	order := []string{"table3", "table3hybrid", "table4", "table5", "fig4", "fig5", "fig6", "rebalance"}
+	// full experiment set plus the §IX rebalance demonstration and the
+	// incremental re-evaluation experiment.
+	order := []string{"table3", "table3hybrid", "table4", "table5", "fig4", "fig5", "fig6", "rebalance", "mcmcreuse"}
 
 	selected := []string{}
 	if *experiment == "all" {
@@ -224,4 +226,17 @@ func runRebalance(w io.Writer) (benchmarks.Report, error) {
 	}
 	benchmarks.PrintRebalance(w, rows)
 	return benchmarks.RebalanceReport(rows), nil
+}
+
+// runMcmcReuse measures the accepted-move cost of an MCMC proposal stream
+// with and without incremental re-evaluation, against a dirty-schedule
+// oracle.
+func runMcmcReuse(w io.Writer) (benchmarks.Report, error) {
+	const tips, patterns, moves = 64, 1024, 30
+	rows, err := benchmarks.McmcReuse(tips, patterns, moves)
+	if err != nil {
+		return benchmarks.Report{}, err
+	}
+	benchmarks.PrintMcmcReuse(w, rows)
+	return benchmarks.McmcReuseReport(rows, tips, patterns), nil
 }

@@ -40,6 +40,7 @@ func main() {
 		resource  = flag.String("resource", "CPU (host)", "compute resource name")
 		framework = flag.String("framework", "", "restrict resource lookup to CUDA or OpenCL")
 		stats     = flag.Bool("stats", false, "enable telemetry and print per-chain kernel op counts and timings")
+		reuse     = flag.Bool("reuse", false, "enable incremental re-evaluation: skip partials and matrix updates whose inputs are unchanged since the previous proposal")
 		tracePath = flag.String("trace", "", "enable span tracing on the cold chain and write its Chrome trace-event JSON timeline to this file")
 	)
 	flag.Parse()
@@ -85,6 +86,9 @@ func main() {
 	flags := gobeagle.FlagThreadingThreadPool
 	if *stats {
 		flags |= gobeagle.FlagTelemetry
+	}
+	if *reuse {
+		flags |= gobeagle.FlagReuse
 	}
 	engines := make([]mcmc.LikelihoodEngine, *chains)
 	beagles := make([]*mcmc.BeagleEngine, *chains)
@@ -194,6 +198,12 @@ func printStats(beagles []*mcmc.BeagleEngine) {
 			fmt.Printf("  %-12s %8d ops %6d calls  total %v  mean/op %v\n",
 				k.Kernel, k.Ops, k.Calls, k.Total.Round(time.Microsecond),
 				k.MeanPerOp().Round(time.Nanosecond))
+		}
+		if r := b.Instance().ReuseStats(); r.Enabled {
+			fmt.Printf("  reuse: partials %d/%d skipped (%.1f%%), matrices %d/%d skipped (%.1f%%), %d invalidations\n",
+				r.OpHits, r.OpHits+r.OpMisses, 100*r.OpHitRate(),
+				r.MatrixHits, r.MatrixHits+r.MatrixMisses, 100*r.MatrixHitRate(),
+				r.Invalidations)
 		}
 		p := s.Kernel("partials")
 		totalOps += p.Ops

@@ -55,6 +55,16 @@ const (
 	// JSON through Instance.TraceJSON. Collection can also be toggled later
 	// with Instance.EnableTrace.
 	FlagTrace
+	// FlagReuse enables incremental re-evaluation: the engine tracks, per
+	// destination buffer, the operation signature and input versions of the
+	// last computation, and UpdatePartials / UpdateTransitionMatrices skip
+	// work whose inputs are unchanged since the last identical request.
+	// Clients resubmit full peel lists every iteration; only the dirtied
+	// path from a mutated buffer, matrix or model parameter to the root is
+	// recomputed. Results are bit-identical to reuse-off because every
+	// kernel is deterministic. Counters are read through
+	// Instance.ReuseStats.
+	FlagReuse
 )
 
 // threadingFlags lists the mutually exclusive CPU threading selections.
@@ -82,6 +92,7 @@ func (f Flags) String() string {
 		{FlagTelemetry, "TELEMETRY"},
 		{FlagRebalance, "REBALANCE"},
 		{FlagTrace, "TRACE"},
+		{FlagReuse, "REUSE"},
 	}
 	var out []string
 	for _, n := range names {

@@ -19,8 +19,12 @@ const None = engine.None
 // mirroring the BEAGLE operation structure. Destination partials are
 // computed from the two children's partials (or compact tip states)
 // combined through their branch transition matrices. DestScaleWrite names a
-// scale buffer to rescale into (or None); DestScaleRead is reserved for
-// reusing previously written scale factors.
+// scale buffer to rescale the fresh destination into (or None).
+// DestScaleRead names a previously written scale buffer whose factors are
+// applied to the fresh destination (each pattern's partials divided by
+// exp(scale[p]), BEAGLE's fixed-scaling read mode), or None; when both are
+// set the read factors are applied first and the rescale then captures the
+// residual magnitude.
 type Operation struct {
 	Destination    int
 	DestScaleWrite int
@@ -83,6 +87,11 @@ type Instance struct {
 	rsc *Resource
 	tel *telemetry.Collector
 	tr  *trace.Tracer
+
+	// scratch is the UpdatePartials conversion buffer, reused across calls
+	// so the submission hot path performs no per-call allocation (MCMC
+	// samplers resubmit the peel schedule every proposal).
+	scratch []engine.Operation
 }
 
 // NewInstance creates an instance on the selected resource. The
@@ -114,6 +123,7 @@ func NewInstance(cfg Config) (*Instance, error) {
 		MinPatternsWork: cfg.MinPatternsForThreading,
 		WorkGroupSize:   cfg.WorkGroupSize,
 		DisableFMA:      cfg.Flags&FlagDisableFMA != 0,
+		Reuse:           cfg.Flags&FlagReuse != 0,
 	}
 	tel := newInstanceCollector(cfg.Flags)
 	ecfg.Telemetry = tel
@@ -226,9 +236,13 @@ func (in *Instance) UpdateTransitionMatrices(eigenSlot int, matrices []int, edge
 
 // UpdatePartials executes a list of partial-likelihoods operations in
 // order; operations whose children are destinations of earlier operations
-// in the same list see the updated values.
+// in the same list see the updated values. On instances created with
+// FlagReuse, operations whose inputs are unchanged since they last produced
+// their destination are skipped (see ReuseStats).
+//
+//beagle:noalloc
 func (in *Instance) UpdatePartials(ops []Operation) error {
-	eops := make([]engine.Operation, len(ops))
+	eops := in.opScratch(len(ops))
 	for i, op := range ops {
 		eops[i] = engine.Operation{
 			Dest:           op.Destination,
@@ -241,6 +255,16 @@ func (in *Instance) UpdatePartials(ops []Operation) error {
 		}
 	}
 	return in.eng.UpdatePartials(eops)
+}
+
+// opScratch returns the instance's conversion buffer with length n, growing
+// the backing array only when a larger batch than ever before is submitted;
+// steady-state resubmissions reuse the previous array.
+func (in *Instance) opScratch(n int) []engine.Operation {
+	if cap(in.scratch) < n {
+		in.scratch = make([]engine.Operation, n)
+	}
+	return in.scratch[:n]
 }
 
 // ResetScaleFactors zeroes a scale buffer.

@@ -25,6 +25,7 @@ import (
 	"gobeagle/internal/device"
 	"gobeagle/internal/engine"
 	"gobeagle/internal/kernels"
+	"gobeagle/internal/reuse"
 )
 
 // Variant selects the hardware-specific kernel configuration.
@@ -120,6 +121,12 @@ type Engine[T kernels.Real] struct {
 	groupPats  int // patterns per work-group after local-memory limits
 	efficiency float64
 	closed     bool
+
+	// reuse is the incremental re-evaluation tracker (nil unless
+	// cfg.Reuse); scratch holds the filtered operation list between
+	// batches so the skip path allocates nothing once warmed up.
+	reuse   *reuse.Tracker
+	scratch []engine.Operation
 }
 
 func newEngine[T kernels.Real](cfg engine.Config, variant Variant, dev *device.Device) (*Engine[T], error) {
@@ -143,6 +150,9 @@ func newEngine[T kernels.Real](cfg engine.Config, variant Variant, dev *device.D
 	}
 	for i := range e.patWts {
 		e.patWts[i] = 1
+	}
+	if cfg.Reuse {
+		e.reuse = reuse.New(cfg.PartialsBuffers, cfg.MatrixBuffers, cfg.ScaleBuffers)
 	}
 	e.q.SetTracer(cfg.Trace, int32(cfg.TraceLane))
 

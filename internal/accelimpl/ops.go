@@ -9,6 +9,7 @@ import (
 	"gobeagle/internal/engine"
 	"gobeagle/internal/flops"
 	"gobeagle/internal/kernels"
+	"gobeagle/internal/reuse"
 	"gobeagle/internal/telemetry"
 	"gobeagle/internal/trace"
 )
@@ -38,7 +39,11 @@ func (e *Engine[T]) SetTipStates(buf int, states []int) error {
 		}
 		e.tipStates[buf] = b
 	}
-	return device.CopyToDevice(e.q, e.tipStates[buf], host)
+	if err := device.CopyToDevice(e.q, e.tipStates[buf], host); err != nil {
+		return err
+	}
+	e.reuse.InvalidatePartials(buf)
+	return nil
 }
 
 // SetTipPartials uploads per-pattern partials for a tip, replicated across
@@ -66,7 +71,11 @@ func (e *Engine[T]) SetTipPartials(buf int, partials []float64) error {
 		e.tipStates[buf].Free()
 		e.tipStates[buf] = nil
 	}
-	return device.CopyToDevice(e.q, dst, host)
+	if err := device.CopyToDevice(e.q, dst, host); err != nil {
+		return err
+	}
+	e.reuse.InvalidatePartials(buf)
+	return nil
 }
 
 // SetPartials uploads a full partials buffer.
@@ -87,7 +96,11 @@ func (e *Engine[T]) SetPartials(buf int, partials []float64) error {
 	for i, v := range partials {
 		host[i] = T(v)
 	}
-	return device.CopyToDevice(e.q, dst, host)
+	if err := device.CopyToDevice(e.q, dst, host); err != nil {
+		return err
+	}
+	e.reuse.InvalidatePartials(buf)
+	return nil
 }
 
 // GetPartials downloads a partials buffer.
@@ -127,6 +140,7 @@ func (e *Engine[T]) SetEigenDecomposition(slot int, values, vectors, inverseVect
 		Vectors:        append([]float64(nil), vectors...),
 		InverseVectors: append([]float64(nil), inverseVectors...),
 	}
+	e.reuse.InvalidateModel()
 	return nil
 }
 
@@ -136,6 +150,7 @@ func (e *Engine[T]) SetCategoryRates(rates []float64) error {
 		return fmt.Errorf("accelimpl: %d category rates, want %d", len(rates), e.cfg.Dims.CategoryCount)
 	}
 	copy(e.catRates, rates)
+	e.reuse.InvalidateModel()
 	return nil
 }
 
@@ -145,6 +160,7 @@ func (e *Engine[T]) SetCategoryWeights(weights []float64) error {
 		return fmt.Errorf("accelimpl: %d category weights, want %d", len(weights), e.cfg.Dims.CategoryCount)
 	}
 	copy(e.catWts, weights)
+	e.reuse.InvalidateModel()
 	return nil
 }
 
@@ -154,6 +170,7 @@ func (e *Engine[T]) SetStateFrequencies(freqs []float64) error {
 		return fmt.Errorf("accelimpl: %d frequencies, want %d", len(freqs), e.cfg.Dims.StateCount)
 	}
 	copy(e.freqs, freqs)
+	e.reuse.InvalidateModel()
 	return nil
 }
 
@@ -163,6 +180,7 @@ func (e *Engine[T]) SetPatternWeights(weights []float64) error {
 		return fmt.Errorf("accelimpl: %d pattern weights, want %d", len(weights), e.cfg.Dims.PatternCount)
 	}
 	copy(e.patWts, weights)
+	e.reuse.InvalidateModel()
 	return nil
 }
 
@@ -182,6 +200,7 @@ func (e *Engine[T]) SetTransitionMatrix(matrix int, values []float64) error {
 		return err
 	}
 	e.matSet[matrix] = true
+	e.reuse.InvalidateMatrix(matrix)
 	return nil
 }
 
@@ -243,7 +262,13 @@ func (e *Engine[T]) UpdateTransitionMatrices(eigenSlot int, matrices []int, edge
 	if traceOn {
 		tstart = e.cfg.Trace.Now()
 	}
+	computed := 0
 	for i, m := range matrices {
+		// Content-addressed reuse: the device buffer already holds this
+		// exact (model, eigen slot, edge length) result, so no launch.
+		if !e.reuse.ShouldComputeMatrix(m, eigenSlot, edgeLengths[i]) {
+			continue
+		}
 		out := e.matrices[m].Data()
 		length := edgeLengths[i]
 		rates := e.catRates
@@ -256,13 +281,14 @@ func (e *Engine[T]) UpdateTransitionMatrices(eigenSlot int, matrices []int, edge
 			return err
 		}
 		e.matSet[m] = true
+		computed++
 	}
-	if !start.IsZero() {
-		e.cfg.Telemetry.Record(telemetry.KernelMatrices, len(matrices), time.Since(start))
+	if !start.IsZero() && computed > 0 {
+		e.cfg.Telemetry.Record(telemetry.KernelMatrices, computed, time.Since(start))
 	}
 	if traceOn {
 		e.cfg.Trace.Record(trace.Span{Kind: trace.KindMatrices, Lane: int32(e.cfg.TraceLane),
-			Start: tstart, Dur: e.cfg.Trace.Now() - tstart, Arg0: int64(len(matrices))})
+			Start: tstart, Dur: e.cfg.Trace.Now() - tstart, Arg0: int64(computed)})
 	}
 	return nil
 }
@@ -335,9 +361,75 @@ func (e *Engine[T]) opCost() device.Cost {
 	}
 }
 
+// validateOps pre-checks every operation (allocating destination and scale
+// buffers in listed order) so the reuse filter's version bumps can never be
+// followed by a validation failure that would leave the tracker ahead of the
+// actual buffer contents.
+func (e *Engine[T]) validateOps(ops []engine.Operation) error {
+	for _, op := range ops {
+		if _, err := e.ensurePartials(op.Dest); err != nil {
+			return err
+		}
+		if op.Dest < e.cfg.TipCount && e.tipStates[op.Dest] != nil {
+			return fmt.Errorf("accelimpl: buffer %d holds compact tip states and cannot be a destination", op.Dest)
+		}
+		if err := e.checkMatrixIndex(op.Child1Mat); err != nil {
+			return err
+		}
+		if err := e.checkMatrixIndex(op.Child2Mat); err != nil {
+			return err
+		}
+		if !e.matSet[op.Child1Mat] || !e.matSet[op.Child2Mat] {
+			return fmt.Errorf("accelimpl: operation uses uncomputed matrices %d/%d", op.Child1Mat, op.Child2Mat)
+		}
+		if _, _, err := e.operand(op.Child1); err != nil {
+			return err
+		}
+		if _, _, err := e.operand(op.Child2); err != nil {
+			return err
+		}
+		if op.DestScaleWrite != engine.None {
+			if _, err := e.ensureScale(op.DestScaleWrite); err != nil {
+				return err
+			}
+		}
+		if op.DestScaleRead != engine.None {
+			// The read buffer must exist before the batch: written by an
+			// earlier batch, or allocated above by an earlier listed
+			// operation's DestScaleWrite.
+			if err := e.checkScaleIndex(op.DestScaleRead); err != nil {
+				return err
+			}
+			if e.scale[op.DestScaleRead] == nil {
+				return fmt.Errorf("accelimpl: scale buffer %d has not been written", op.DestScaleRead)
+			}
+		}
+	}
+	return nil
+}
+
 // UpdatePartials executes the operation list; each operation is one kernel
-// launch (plus a rescale launch when requested).
+// launch (plus read-scale and rescale launches when requested).
 func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
+	if err := e.validateOps(ops); err != nil {
+		return err
+	}
+	// Incremental re-evaluation: drop operations whose destination already
+	// holds the result of an identical computation over unchanged inputs
+	// (decided in submission order, the documented dependency order).
+	var skipped int
+	if e.reuse.Enabled() {
+		kept := e.scratch[:0]
+		for _, op := range ops {
+			if e.reuse.ShouldComputeOp(op.Dest, op.Child1, op.Child1Mat,
+				op.Child2, op.Child2Mat, op.DestScaleWrite, op.DestScaleRead) {
+				kept = append(kept, op)
+			}
+		}
+		e.scratch = kept
+		skipped = len(ops) - len(kept)
+		ops = kept
+	}
 	// Telemetry fast path: one atomic load when disabled, no timestamps taken.
 	var start time.Time
 	if e.cfg.Telemetry.Enabled() {
@@ -355,18 +447,6 @@ func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
 		dest, err := e.ensurePartials(op.Dest)
 		if err != nil {
 			return err
-		}
-		if op.Dest < e.cfg.TipCount && e.tipStates[op.Dest] != nil {
-			return fmt.Errorf("accelimpl: buffer %d holds compact tip states and cannot be a destination", op.Dest)
-		}
-		if err := e.checkMatrixIndex(op.Child1Mat); err != nil {
-			return err
-		}
-		if err := e.checkMatrixIndex(op.Child2Mat); err != nil {
-			return err
-		}
-		if !e.matSet[op.Child1Mat] || !e.matSet[op.Child2Mat] {
-			return fmt.Errorf("accelimpl: operation uses uncomputed matrices %d/%d", op.Child1Mat, op.Child2Mat)
 		}
 		s1, p1, err := e.operand(op.Child1)
 		if err != nil {
@@ -387,6 +467,11 @@ func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
 		if err := e.launchOp(dest.Data(), s1, p1, m1, s2, p2, m2); err != nil {
 			return err
 		}
+		if op.DestScaleRead != engine.None {
+			if err := e.launchReadScale(dest.Data(), op.DestScaleRead); err != nil {
+				return err
+			}
+		}
 		if op.DestScaleWrite != engine.None {
 			if err := e.launchRescale(dest.Data(), op.DestScaleWrite); err != nil {
 				return err
@@ -399,10 +484,14 @@ func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
 	}
 	if traceOn {
 		e.cfg.Trace.Record(trace.Span{Kind: trace.KindBatch, Lane: int32(e.cfg.TraceLane), Batch: tbatch,
-			Start: tstart, Dur: e.cfg.Trace.Now() - tstart, Arg0: int64(len(ops))})
+			Start: tstart, Dur: e.cfg.Trace.Now() - tstart, Arg0: int64(len(ops)), Arg1: int64(skipped)})
 	}
 	return nil
 }
+
+// ReuseStats snapshots the incremental re-evaluation counters; the zero
+// value (Enabled false) when the engine was built without Config.Reuse.
+func (e *Engine[T]) ReuseStats() reuse.Stats { return e.reuse.Stats() }
 
 // operand resolves a child buffer to device data: compact states or
 // partials.
@@ -509,6 +598,40 @@ func (e *Engine[T]) launchRescale(dest []T, scaleBuf int) error {
 	return err
 }
 
+// launchReadScale applies previously written scale factors to a freshly
+// computed destination buffer (fixed scaling), one work-item per pattern.
+func (e *Engine[T]) launchReadScale(dest []T, scaleBuf int) error {
+	if err := e.checkScaleIndex(scaleBuf); err != nil {
+		return err
+	}
+	if e.scale[scaleBuf] == nil {
+		return fmt.Errorf("accelimpl: scale buffer %d has not been written", scaleBuf)
+	}
+	var start time.Time
+	if e.cfg.Telemetry.Enabled() {
+		start = time.Now()
+	}
+	d := e.cfg.Dims
+	scale := e.scale[scaleBuf].Data()
+	elem := float64(e.elemSize())
+	cost := device.Cost{
+		Flops:      float64(d.PartialsLen()),
+		Bytes:      2*float64(d.PartialsLen())*elem + float64(d.PatternCount)*8,
+		Efficiency: e.efficiency,
+		GroupSize:  e.groupPats,
+	}
+	err := e.q.LaunchKernel(device.Launch{Global: d.PatternCount, Local: e.groupPats}, cost, func(p int) {
+		if p >= d.PatternCount {
+			return
+		}
+		kernels.ApplyReadScale(dest, scale, d, p, p+1)
+	})
+	if err == nil && !start.IsZero() {
+		e.cfg.Telemetry.Record(telemetry.KernelRescale, 1, time.Since(start))
+	}
+	return err
+}
+
 // ResetScaleFactors zeroes a scale buffer on the device.
 func (e *Engine[T]) ResetScaleFactors(scaleBuf int) error {
 	sb, err := e.ensureScale(scaleBuf)
@@ -516,7 +639,11 @@ func (e *Engine[T]) ResetScaleFactors(scaleBuf int) error {
 		return err
 	}
 	zero := make([]float64, e.cfg.Dims.PatternCount)
-	return device.CopyToDevice(e.q, sb, zero)
+	if err := device.CopyToDevice(e.q, sb, zero); err != nil {
+		return err
+	}
+	e.reuse.InvalidateScale(scaleBuf)
+	return nil
 }
 
 // AccumulateScaleFactors sums the listed scale buffers into cumBuf with a
@@ -543,12 +670,16 @@ func (e *Engine[T]) AccumulateScaleFactors(scaleBufs []int, cumBuf int) error {
 		Bytes:     float64(d.PatternCount*(len(factors)+1)) * 8,
 		GroupSize: e.groupPats,
 	}
-	return e.q.LaunchKernel(device.Launch{Global: d.PatternCount, Local: e.groupPats}, cost, func(p int) {
+	if err := e.q.LaunchKernel(device.Launch{Global: d.PatternCount, Local: e.groupPats}, cost, func(p int) {
 		if p >= d.PatternCount {
 			return
 		}
 		kernels.AccumulateScaleFactors(out, factors, p, p+1)
-	})
+	}); err != nil {
+		return err
+	}
+	e.reuse.InvalidateScale(cumBuf)
+	return nil
 }
 
 // siteLikelihoods runs the integration kernel on the device and downloads
@@ -697,11 +828,15 @@ func (e *Engine[T]) UpdateTransitionDerivatives(eigenSlot int, d1Matrices, d2Mat
 			return err
 		}
 		e.matSet[m] = true
+		// Derivative uploads overwrite ordinary matrix buffers, so any
+		// content-addressed transition-matrix entry for them is stale.
+		e.reuse.InvalidateMatrix(m)
 		if d2Matrices != nil {
 			if err := device.CopyToDevice(e.q, e.matrices[d2Matrices[i]], host2); err != nil {
 				return err
 			}
 			e.matSet[d2Matrices[i]] = true
+			e.reuse.InvalidateMatrix(d2Matrices[i])
 		}
 	}
 	if !start.IsZero() {

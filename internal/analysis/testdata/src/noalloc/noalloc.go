@@ -199,3 +199,69 @@ func CleanRecord(r *ring, lane int32, start, dur int64) {
 	r.slots[r.count%4] = span{kind: 2, lane: lane, start: start, dur: dur}
 	r.count++
 }
+
+// --- cache hit-path patterns ---------------------------------------------
+// The reuse tracker (internal/reuse) annotates its per-operation decision
+// path //beagle:noalloc: it runs once per submitted op on every proposal, so
+// a single allocation there erodes the very speedup it exists to buy. These
+// fixtures seed the tempting shortcuts — string signature keys, a per-call
+// map of seen destinations, growing a kept-ops slice, boxing buffer indices
+// into an any-keyed lookup — and pin down the version-counter compare the
+// real decision path must keep.
+
+type opKey struct {
+	dest, c1, c2 int
+	c1Ver, c2Ver uint64
+}
+
+type cache struct {
+	vers []uint64
+	sigs []opKey
+	hits uint64
+}
+
+//beagle:noalloc
+func DecideWithStringKey(dest int, sigs []string) bool {
+	return sigs[dest] == fmt.Sprintf("op") // want `call to fmt.Sprintf allocates`
+}
+
+//beagle:noalloc
+func DecideWithSeenMap(ops []opKey) int {
+	seen := map[int]bool{} // want `map literal allocates`
+	for _, op := range ops {
+		seen[op.dest] = true
+	}
+	return len(seen)
+}
+
+//beagle:noalloc
+func DecideGrowsKeptOps(kept []opKey, op opKey) []opKey {
+	return append(kept, op) // want `append may grow and reallocate`
+}
+
+//beagle:noalloc
+func DecideBoxesIndex(dest int) {
+	takesAny(dest) // want `argument boxes int into interface any`
+}
+
+//beagle:noalloc
+func DecideHeapBuildsKey(dest int) *opKey {
+	return &opKey{dest: dest} // want `address of composite literal escapes`
+}
+
+// CleanDecide is the shape the real decision path must keep: compare the
+// stored signature's input versions against the live counters, overwrite the
+// signature slot in place on a miss (a value struct literal, not a pointer),
+// and bump counters without formatting, maps, or boxing.
+//
+//beagle:noalloc
+func CleanDecide(c *cache, dest, c1, c2 int) bool {
+	sig := c.sigs[dest]
+	if sig.c1 == c1 && sig.c2 == c2 && sig.c1Ver == c.vers[c1] && sig.c2Ver == c.vers[c2] {
+		c.hits++
+		return false
+	}
+	c.sigs[dest] = opKey{dest: dest, c1: c1, c2: c2, c1Ver: c.vers[c1], c2Ver: c.vers[c2]}
+	c.vers[dest]++
+	return true
+}

@@ -1,0 +1,235 @@
+package benchmarks
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"gobeagle"
+	"gobeagle/internal/tree"
+)
+
+// The mcmcreuse experiment measures the accepted-move cost of an MCMC
+// proposal stream — the workload incremental re-evaluation exists for. A
+// sampler perturbs one branch length per accepted move; re-evaluating the
+// likelihood then only needs the proposed branch's transition matrix and the
+// partials on the path from that branch to the root, yet a client without
+// dirty-node bookkeeping resubmits the whole tree. The experiment drives the
+// same deterministic proposal stream through three instances:
+//
+//   - reuse-off: full-schedule resubmission, everything recomputed — the
+//     naive client, and the baseline;
+//   - reuse-on: full-schedule resubmission with FlagReuse — the library's
+//     dirty tracking skips every clean matrix and operation;
+//   - oracle: a client that maintains its own dirty-node bookkeeping and
+//     submits tree.DirtySchedule — the lower bound on work.
+//
+// All three phases must produce bit-identical log-likelihood traces; the
+// reported speedups are total proposal-loop wall time relative to reuse-off.
+
+// McmcReuseRow is one phase of the experiment.
+type McmcReuseRow struct {
+	Phase    string        // "reuse-off", "reuse-on", "oracle"
+	Wall     time.Duration // total wall time of the proposal loop
+	PerMove  time.Duration // wall time per accepted move
+	Speedup  float64       // vs reuse-off
+	OpRate   float64       // fraction of submitted partials ops skipped (reuse-on only)
+	MatRate  float64       // fraction of submitted matrix updates skipped (reuse-on only)
+	LnLFirst float64       // first and last trace entries, for the report
+	LnLLast  float64
+}
+
+// mcmcProposal is one accepted branch-length move.
+type mcmcProposal struct {
+	node   int // index into tree.Nodes()
+	length float64
+}
+
+// McmcReuse runs the accepted-move-cost experiment: tips taxa, patterns
+// site patterns, moves accepted proposals.
+func McmcReuse(tips, patterns, moves int) ([]McmcReuseRow, error) {
+	p, err := NewProblem(2024, tips, 4, patterns, 4)
+	if err != nil {
+		return nil, err
+	}
+	nodes := p.Tree.Nodes()
+	initial := make([]float64, len(nodes))
+	for i, n := range nodes {
+		initial[i] = n.Length
+	}
+	rng := rand.New(rand.NewSource(77))
+	proposals := make([]mcmcProposal, moves)
+	for i := range proposals {
+		for {
+			j := rng.Intn(len(nodes))
+			if nodes[j] == p.Tree.Root {
+				continue
+			}
+			proposals[i] = mcmcProposal{node: j, length: 0.02 + rng.Float64()*0.4}
+			break
+		}
+	}
+	reset := func() {
+		for i, n := range nodes {
+			n.Length = initial[i]
+		}
+	}
+
+	// fullEval submits the complete schedule, as a client without dirty
+	// bookkeeping does every proposal.
+	fullEval := func(inst *gobeagle.Instance) (float64, error) {
+		mats, lens, ops, root := p.Schedule()
+		if err := inst.UpdateTransitionMatrices(0, mats, lens); err != nil {
+			return 0, err
+		}
+		if err := inst.UpdatePartials(ops); err != nil {
+			return 0, err
+		}
+		return inst.CalculateRootLogLikelihoods(root, gobeagle.None)
+	}
+	// dirtyEval submits the minimal schedule for one dirty node — the
+	// hand-maintained oracle.
+	dirtyEval := func(inst *gobeagle.Instance, dirty *tree.Node) (float64, error) {
+		sched := p.Tree.DirtySchedule([]*tree.Node{dirty})
+		mats := make([]int, len(sched.Matrices))
+		lens := make([]float64, len(sched.Matrices))
+		for i, mu := range sched.Matrices {
+			mats[i], lens[i] = mu.Matrix, mu.Length
+		}
+		if err := inst.UpdateTransitionMatrices(0, mats, lens); err != nil {
+			return 0, err
+		}
+		ops := make([]gobeagle.Operation, len(sched.Ops))
+		for i, op := range sched.Ops {
+			ops[i] = gobeagle.Operation{
+				Destination: op.Dest, DestScaleWrite: gobeagle.None, DestScaleRead: gobeagle.None,
+				Child1: op.Child1, Child1Matrix: op.Child1Mat,
+				Child2: op.Child2, Child2Matrix: op.Child2Mat,
+			}
+		}
+		if err := inst.UpdatePartials(ops); err != nil {
+			return 0, err
+		}
+		return inst.CalculateRootLogLikelihoods(sched.Root, gobeagle.None)
+	}
+
+	type phase struct {
+		name   string
+		flags  gobeagle.Flags
+		oracle bool
+	}
+	phases := []phase{
+		{"reuse-off", 0, false},
+		{"reuse-on", gobeagle.FlagReuse, false},
+		{"oracle", 0, true},
+	}
+	var rows []McmcReuseRow
+	var baseTrace []float64
+	for _, ph := range phases {
+		reset()
+		inst, err := gobeagle.NewInstance(p.InstanceConfig(0, ph.flags))
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Load(inst); err != nil {
+			inst.Finalize()
+			return nil, err
+		}
+		// Warm start: every phase begins from a fully evaluated tree, as a
+		// chain does after its first generation.
+		if _, err := fullEval(inst); err != nil {
+			inst.Finalize()
+			return nil, err
+		}
+		trace := make([]float64, moves)
+		t0 := time.Now()
+		for i, prop := range proposals {
+			nodes[prop.node].Length = prop.length
+			var lnL float64
+			var err error
+			if ph.oracle {
+				lnL, err = dirtyEval(inst, nodes[prop.node])
+			} else {
+				lnL, err = fullEval(inst)
+			}
+			if err != nil {
+				inst.Finalize()
+				return nil, err
+			}
+			trace[i] = lnL
+		}
+		wall := time.Since(t0)
+		rs := inst.ReuseStats()
+		if err := inst.Finalize(); err != nil {
+			return nil, err
+		}
+		if baseTrace == nil {
+			baseTrace = trace
+		} else {
+			for i := range trace {
+				if trace[i] != baseTrace[i] {
+					return nil, fmt.Errorf("benchmarks: %s lnL trace diverged at move %d: %v != %v",
+						ph.name, i, trace[i], baseTrace[i])
+				}
+			}
+		}
+		rows = append(rows, McmcReuseRow{
+			Phase:    ph.name,
+			Wall:     wall,
+			PerMove:  wall / time.Duration(moves),
+			Speedup:  1,
+			OpRate:   rs.OpHitRate(),
+			MatRate:  rs.MatrixHitRate(),
+			LnLFirst: trace[0],
+			LnLLast:  trace[len(trace)-1],
+		})
+	}
+	base := rows[0].Wall
+	for i := range rows {
+		rows[i].Speedup = float64(base) / float64(rows[i].Wall)
+	}
+	return rows, nil
+}
+
+// PrintMcmcReuse renders the experiment as a table.
+func PrintMcmcReuse(w io.Writer, rows []McmcReuseRow) {
+	fmt.Fprintln(w, "Incremental re-evaluation: accepted-move cost of an MCMC proposal stream")
+	fmt.Fprintln(w, "one branch-length move per step, full-schedule resubmission vs FlagReuse vs dirty-schedule oracle")
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\twall\tper move\tspeedup vs reuse-off\tops skipped\tmatrices skipped")
+	for _, r := range rows {
+		skip := "-"
+		mskip := "-"
+		if r.OpRate > 0 || r.MatRate > 0 {
+			skip = fmt.Sprintf("%.1f%%", 100*r.OpRate)
+			mskip = fmt.Sprintf("%.1f%%", 100*r.MatRate)
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%.2f\t%s\t%s\n",
+			r.Phase, r.Wall.Round(time.Millisecond), r.PerMove.Round(10*time.Microsecond),
+			r.Speedup, skip, mskip)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "log-likelihood traces of all phases are bit-identical (verified)")
+}
+
+// McmcReuseReport converts the experiment to the machine-readable form.
+func McmcReuseReport(rows []McmcReuseRow, tips, patterns int) Report {
+	rep := Report{
+		Experiment:  "mcmcreuse",
+		Description: "accepted-move cost of an MCMC proposal stream: full resubmission vs incremental re-evaluation vs dirty-schedule oracle",
+		Unit:        "speedup",
+	}
+	for _, r := range rows {
+		rep.Records = append(rep.Records, Record{
+			Device:         "host CPU (serial)",
+			Implementation: r.Phase,
+			Strategy:       "serial",
+			Model:          "nucleotide", Precision: "double",
+			States: 4, Patterns: patterns, Categories: 4, Tips: tips,
+			Speedup: r.Speedup,
+		})
+	}
+	return rep
+}

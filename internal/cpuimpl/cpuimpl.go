@@ -34,6 +34,7 @@ import (
 	"gobeagle/internal/engine"
 	"gobeagle/internal/flops"
 	"gobeagle/internal/kernels"
+	"gobeagle/internal/reuse"
 	"gobeagle/internal/telemetry"
 	"gobeagle/internal/trace"
 )
@@ -113,6 +114,10 @@ type Engine[T kernels.Real] struct {
 	tr          *trace.Tracer
 	lane        int32
 	closed      bool
+	// scratch holds the reuse-filtered operation list between batches so
+	// the skip path of a full-schedule resubmission allocates nothing once
+	// warmed up.
+	scratch []engine.Operation
 }
 
 func newEngine[T kernels.Real](cfg engine.Config, mode Mode) *Engine[T] {
@@ -205,6 +210,15 @@ func (e *Engine[T]) runOp(op engine.Operation, lo, hi int) error {
 			kernels.PartialsPartials(dest, p1, m1, p2, m2, d, lo, hi)
 		}
 	}
+	// Fixed scaling first: previously written factors are applied to the
+	// fresh partials, then an optional rescale captures the residual.
+	if op.DestScaleRead != engine.None {
+		scale, err := e.CumulativeScale(op.DestScaleRead)
+		if err != nil {
+			return err
+		}
+		kernels.ApplyReadScale(dest, scale, d, lo, hi)
+	}
 	if op.DestScaleWrite != engine.None {
 		scale, err := e.ScaleWriteTarget(op.DestScaleWrite)
 		if err != nil {
@@ -238,6 +252,14 @@ func (e *Engine[T]) validateOps(ops []engine.Operation) error {
 				return err
 			}
 		}
+		if op.DestScaleRead != engine.None {
+			// The read buffer must exist before the batch: either written by
+			// an earlier batch, or allocated above by an earlier listed
+			// operation's DestScaleWrite.
+			if _, err := e.CumulativeScale(op.DestScaleRead); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -256,6 +278,25 @@ func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
 	}
 	if err := e.validateOps(ops); err != nil {
 		return err
+	}
+	// Incremental re-evaluation: drop operations whose destination already
+	// holds the result of an identical computation over unchanged inputs.
+	// Decisions run in submission order — the documented dependency order —
+	// so an admitted ancestor dirties its dependents before they are
+	// decided. Validation above covered the full list, so skipping cannot
+	// hide an invalid operation.
+	var skipped int
+	if e.Reuse.Enabled() {
+		kept := e.scratch[:0]
+		for _, op := range ops {
+			if e.Reuse.ShouldComputeOp(op.Dest, op.Child1, op.Child1Mat,
+				op.Child2, op.Child2Mat, op.DestScaleWrite, op.DestScaleRead) {
+				kept = append(kept, op)
+			}
+		}
+		e.scratch = kept
+		skipped = len(ops) - len(kept)
+		ops = kept
 	}
 	// Telemetry/trace fast paths: one atomic load each when disabled, no
 	// timestamps taken.
@@ -307,10 +348,14 @@ func (e *Engine[T]) UpdatePartials(ops []engine.Operation) error {
 	}
 	if traceOn {
 		e.tr.Record(trace.Span{Kind: trace.KindBatch, Lane: e.lane, Batch: tbatch,
-			Start: tstart, Dur: e.tr.Now() - tstart, Arg0: int64(len(ops))})
+			Start: tstart, Dur: e.tr.Now() - tstart, Arg0: int64(len(ops)), Arg1: int64(skipped)})
 	}
 	return nil
 }
+
+// ReuseStats snapshots the incremental re-evaluation counters; the zero
+// value (Enabled false) when the engine was built without Config.Reuse.
+func (e *Engine[T]) ReuseStats() reuse.Stats { return e.Reuse.Stats() }
 
 // runFutures executes operations level by level; operations within a level
 // are independent in the tree topology and run concurrently, each as one

@@ -27,10 +27,21 @@ const None = -1
 // scale buffer to write (rescale) or read, and the two child buffers with
 // their transition matrices. Child buffers smaller than the instance's
 // compact-tip count refer to compact state buffers when those were set.
+//
+// Scaling fields follow BEAGLE's dynamic- and fixed-scaling modes.
+// DestScaleWrite rescales the freshly computed destination: each pattern's
+// partials are divided by their maximum and the log of that factor is
+// written to the named scale buffer. DestScaleRead applies previously
+// written factors instead of computing new ones: after the combine kernel,
+// each pattern's partials are divided by exp(scale[p]) read from the named
+// buffer, which must have been written (by an earlier operation's
+// DestScaleWrite or by AccumulateScaleFactors) before this batch. When both
+// are set, the read factors are applied first and the rescale then captures
+// the residual magnitude.
 type Operation struct {
 	Dest           int
 	DestScaleWrite int // scale buffer to rescale into, or None
-	DestScaleRead  int // pre-existing scale buffer to read, or None (unused by the kernels here)
+	DestScaleRead  int // previously written scale buffer applied to the fresh destination, or None
 	Child1         int
 	Child1Mat      int
 	Child2         int
@@ -51,6 +62,11 @@ type Config struct {
 	MinPatternsWork int  // threading threshold; 0 = implementation default
 	WorkGroupSize   int  // accelerator work-group size in patterns; 0 = device default
 	DisableFMA      bool // build kernels without fused multiply–add (Table IV ablation)
+	// Reuse enables incremental re-evaluation: the implementation tracks
+	// input versions per destination buffer and skips UpdatePartials
+	// operations and UpdateTransitionMatrices entries whose inputs are
+	// unchanged since the last identical request (see internal/reuse).
+	Reuse bool
 	// Telemetry, when non-nil, receives per-kernel counters, effective-flop
 	// accounting and scheduler level traces from the implementation. A nil
 	// collector (or a disabled one) must cost nothing on the hot paths.

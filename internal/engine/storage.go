@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gobeagle/internal/kernels"
+	"gobeagle/internal/reuse"
 	"gobeagle/internal/telemetry"
 	"gobeagle/internal/trace"
 )
@@ -27,6 +28,11 @@ type Storage[T kernels.Real] struct {
 	Freqs     []float64
 	PatWts    []float64
 	Scale     [][]float64
+	// Reuse is the incremental re-evaluation tracker, nil unless
+	// Cfg.Reuse. Every mutating setter below reports its invalidation to
+	// it (all tracker methods are no-ops on nil), and implementations
+	// consult it to skip unchanged work.
+	Reuse *reuse.Tracker
 }
 
 // NewStorage allocates a buffer store for the given configuration; the
@@ -55,6 +61,9 @@ func NewStorage[T kernels.Real](cfg Config) *Storage[T] {
 	}
 	for i := range s.PatWts {
 		s.PatWts[i] = 1
+	}
+	if cfg.Reuse {
+		s.Reuse = reuse.New(cfg.PartialsBuffers, cfg.MatrixBuffers, cfg.ScaleBuffers)
 	}
 	return s
 }
@@ -100,6 +109,7 @@ func (s *Storage[T]) SetTipStates(buf int, states []int) error {
 		out[i] = int32(st)
 	}
 	s.TipStates[buf] = out
+	s.Reuse.InvalidatePartials(buf)
 	return nil
 }
 
@@ -122,6 +132,7 @@ func (s *Storage[T]) SetTipPartials(buf int, partials []float64) error {
 	}
 	s.Partials[buf] = full
 	s.TipStates[buf] = nil // expanded representation wins
+	s.Reuse.InvalidatePartials(buf)
 	return nil
 }
 
@@ -142,6 +153,7 @@ func (s *Storage[T]) SetPartials(buf int, partials []float64) error {
 	if buf < s.Cfg.TipCount {
 		s.TipStates[buf] = nil
 	}
+	s.Reuse.InvalidatePartials(buf)
 	return nil
 }
 
@@ -177,6 +189,7 @@ func (s *Storage[T]) SetEigenDecomposition(slot int, values, vectors, inverseVec
 		Vectors:        append([]float64(nil), vectors...),
 		InverseVectors: append([]float64(nil), inverseVectors...),
 	}
+	s.Reuse.InvalidateModel()
 	return nil
 }
 
@@ -186,6 +199,7 @@ func (s *Storage[T]) SetCategoryRates(rates []float64) error {
 		return fmt.Errorf("engine: %d category rates, want %d", len(rates), s.Cfg.Dims.CategoryCount)
 	}
 	copy(s.CatRates, rates)
+	s.Reuse.InvalidateModel()
 	return nil
 }
 
@@ -195,6 +209,7 @@ func (s *Storage[T]) SetCategoryWeights(weights []float64) error {
 		return fmt.Errorf("engine: %d category weights, want %d", len(weights), s.Cfg.Dims.CategoryCount)
 	}
 	copy(s.CatWts, weights)
+	s.Reuse.InvalidateModel()
 	return nil
 }
 
@@ -204,6 +219,7 @@ func (s *Storage[T]) SetStateFrequencies(freqs []float64) error {
 		return fmt.Errorf("engine: %d frequencies, want %d", len(freqs), s.Cfg.Dims.StateCount)
 	}
 	copy(s.Freqs, freqs)
+	s.Reuse.InvalidateModel()
 	return nil
 }
 
@@ -213,6 +229,7 @@ func (s *Storage[T]) SetPatternWeights(weights []float64) error {
 		return fmt.Errorf("engine: %d pattern weights, want %d", len(weights), s.Cfg.Dims.PatternCount)
 	}
 	copy(s.PatWts, weights)
+	s.Reuse.InvalidateModel()
 	return nil
 }
 
@@ -229,6 +246,7 @@ func (s *Storage[T]) SetTransitionMatrix(matrix int, values []float64) error {
 		m[i] = T(v)
 	}
 	s.Matrices[matrix] = m
+	s.Reuse.InvalidateMatrix(matrix)
 	return nil
 }
 
@@ -277,18 +295,25 @@ func (s *Storage[T]) UpdateTransitionMatrices(eigenSlot int, matrices []int, edg
 	if traceOn {
 		tstart = s.Cfg.Trace.Now()
 	}
+	computed := 0
 	for i, m := range matrices {
+		// Content-addressed reuse: the matrix already holds the result of
+		// this exact (model, eigen slot, edge length) computation.
+		if !s.Reuse.ShouldComputeMatrix(m, eigenSlot, edgeLengths[i]) {
+			continue
+		}
 		if s.Matrices[m] == nil {
 			s.Matrices[m] = make([]T, s.Cfg.Dims.MatrixLen())
 		}
 		kernels.UpdateTransitionMatrix(s.Matrices[m], e, edgeLengths[i], s.CatRates)
+		computed++
 	}
-	if !start.IsZero() {
-		s.Cfg.Telemetry.Record(telemetry.KernelMatrices, len(matrices), time.Since(start))
+	if !start.IsZero() && computed > 0 {
+		s.Cfg.Telemetry.Record(telemetry.KernelMatrices, computed, time.Since(start))
 	}
 	if traceOn {
 		s.Cfg.Trace.Record(trace.Span{Kind: trace.KindMatrices, Lane: int32(s.Cfg.TraceLane),
-			Start: tstart, Dur: s.Cfg.Trace.Now() - tstart, Arg0: int64(len(matrices))})
+			Start: tstart, Dur: s.Cfg.Trace.Now() - tstart, Arg0: int64(computed)})
 	}
 	return nil
 }
@@ -343,6 +368,12 @@ func (s *Storage[T]) UpdateTransitionDerivatives(eigenSlot int, d1Matrices, d2Ma
 			d2 = s.Matrices[d2Matrices[i]]
 		}
 		kernels.UpdateTransitionDerivatives(s.Matrices[m], d2, e, edgeLengths[i], s.CatRates)
+		// Derivative kernels overwrite ordinary matrix buffers, so any
+		// content-addressed transition-matrix entry for them is stale.
+		s.Reuse.InvalidateMatrix(m)
+		if d2Matrices != nil {
+			s.Reuse.InvalidateMatrix(d2Matrices[i])
+		}
 	}
 	if !start.IsZero() {
 		s.Cfg.Telemetry.Record(telemetry.KernelDerivatives, len(d1Matrices), time.Since(start))
@@ -359,6 +390,7 @@ func (s *Storage[T]) ResetScaleFactors(scaleBuf int) error {
 	if err := s.checkScaleIndex(scaleBuf); err != nil {
 		return err
 	}
+	s.Reuse.InvalidateScale(scaleBuf)
 	if s.Scale[scaleBuf] == nil {
 		s.Scale[scaleBuf] = make([]float64, s.Cfg.Dims.PatternCount)
 		return nil
@@ -388,6 +420,7 @@ func (s *Storage[T]) AccumulateScaleFactors(scaleBufs []int, cumBuf int) error {
 		s.Scale[cumBuf] = make([]float64, s.Cfg.Dims.PatternCount)
 	}
 	kernels.AccumulateScaleFactors(s.Scale[cumBuf], factors, 0, s.Cfg.Dims.PatternCount)
+	s.Reuse.InvalidateScale(cumBuf)
 	return nil
 }
 

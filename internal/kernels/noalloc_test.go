@@ -45,6 +45,7 @@ func TestKernelsAllocateNothing(t *testing.T) {
 		SiteLikelihoods(site, dest, weights, freqs, d, 0, d.PatternCount)
 		EdgeSiteLikelihoods(site, pr.p1, pr.p2, pr.m1, weights, freqs, d, 0, d.PatternCount)
 		RescalePartials(dest, scale, d, 0, d.PatternCount)
+		ApplyReadScale(dest, scale, d, 0, d.PatternCount)
 		AccumulateScaleFactors(cum, factors, 0, d.PatternCount)
 		sink = RootLogLikelihood(site, patternWeights, cum, 0, d.PatternCount)
 	})

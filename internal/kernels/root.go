@@ -108,6 +108,30 @@ func RescalePartials[T Real](partials []T, scale []float64, d Dims, lo, hi int) 
 	}
 }
 
+// ApplyReadScale applies previously written per-pattern log scale factors to
+// freshly computed partials for patterns [lo, hi): every state and category
+// entry of pattern p is divided by exp(scale[p]) — BEAGLE's fixed-scaling
+// mode, where an operation reuses factors captured by an earlier rescale
+// instead of computing new ones. The factors themselves are unchanged; the
+// caller integrates them through the cumulative scale buffer as usual.
+//
+//beagle:noalloc
+func ApplyReadScale[T Real](partials []T, scale []float64, d Dims, lo, hi int) {
+	s := d.StateCount
+	for p := lo; p < hi; p++ {
+		if scale[p] == 0 {
+			continue
+		}
+		factor := T(math.Exp(-scale[p]))
+		for c := 0; c < d.CategoryCount; c++ {
+			pOff := (c*d.PatternCount + p) * s
+			for i := 0; i < s; i++ {
+				partials[pOff+i] *= factor
+			}
+		}
+	}
+}
+
 // AccumulateScaleFactors sums the given per-pattern log scale factor buffers
 // into cum for patterns [lo, hi) — the kernel behind
 // AccumulateScaleFactors in the API.

@@ -307,6 +307,12 @@ type BeagleEngine struct {
 	model *substmodel.Model
 	rates *substmodel.SiteRates
 	ps    *seqgen.PatternSet
+
+	// scratch, sized to the first schedule and reused every proposal so the
+	// per-evaluation submission path allocates nothing in steady state.
+	mats []int
+	lens []float64
+	ops  []gobeagle.Operation
 }
 
 // NewBeagleEngine creates a library-backed engine for the dataset on the
@@ -362,18 +368,29 @@ func (e *BeagleEngine) Instance() *gobeagle.Instance { return e.inst }
 // Close finalizes the library instance.
 func (e *BeagleEngine) Close() error { return e.inst.Finalize() }
 
-// LogLikelihood evaluates the tree through the library.
+// LogLikelihood evaluates the tree through the library. The full evaluation
+// schedule is submitted every call: on instances created without FlagReuse
+// that recomputes everything, and on instances with it the library's
+// dirty-tracking skips every matrix and partials operation whose inputs are
+// unchanged since the previous proposal, so the sampler needs no dirty-node
+// bookkeeping of its own.
 func (e *BeagleEngine) LogLikelihood(t *tree.Tree) (float64, error) {
 	sched := t.FullSchedule()
-	mats := make([]int, len(sched.Matrices))
-	lens := make([]float64, len(sched.Matrices))
+	if cap(e.mats) < len(sched.Matrices) {
+		e.mats = make([]int, len(sched.Matrices))
+		e.lens = make([]float64, len(sched.Matrices))
+	}
+	mats, lens := e.mats[:len(sched.Matrices)], e.lens[:len(sched.Matrices)]
 	for i, mu := range sched.Matrices {
 		mats[i], lens[i] = mu.Matrix, mu.Length
 	}
 	if err := e.inst.UpdateTransitionMatrices(0, mats, lens); err != nil {
 		return 0, err
 	}
-	ops := make([]gobeagle.Operation, len(sched.Ops))
+	if cap(e.ops) < len(sched.Ops) {
+		e.ops = make([]gobeagle.Operation, len(sched.Ops))
+	}
+	ops := e.ops[:len(sched.Ops)]
 	for i, op := range sched.Ops {
 		ops[i] = gobeagle.Operation{
 			Destination: op.Dest, DestScaleWrite: gobeagle.None, DestScaleRead: gobeagle.None,

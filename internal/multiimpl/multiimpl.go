@@ -25,6 +25,7 @@ import (
 
 	"gobeagle/internal/engine"
 	"gobeagle/internal/flops"
+	"gobeagle/internal/reuse"
 	"gobeagle/internal/telemetry"
 	"gobeagle/internal/trace"
 )
@@ -171,6 +172,28 @@ func (e *Engine) Ranges() (lo, hi []int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return append([]int(nil), e.lo...), append([]int(nil), e.hi...)
+}
+
+// ReuseStats reports the incremental re-evaluation counters when the
+// backends were built with engine.Config.Reuse (zero-value Stats with
+// Enabled=false otherwise).
+//
+// Every backend holds an identical reuse tracker: setters broadcast (or
+// scatter per-pattern slices of the same buffer) and operation lists are
+// forwarded wholesale, so each sub-engine's tracker observes the same
+// invalidation and decision stream and makes the same skip/compute choices.
+// Pattern migration under rebalancing moves per-pattern state bit-identically
+// between neighbors without changing any buffer's logical contents, so it
+// validly carries cache state — no invalidation is needed at a migration
+// boundary. The first backend's counters therefore represent the whole
+// instance.
+func (e *Engine) ReuseStats() reuse.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r, ok := e.subs[0].(interface{ ReuseStats() reuse.Stats }); ok {
+		return r.ReuseStats()
+	}
+	return reuse.Stats{}
 }
 
 // Close closes every backend, joining all errors.
@@ -356,6 +379,10 @@ func (e *Engine) UpdateTransitionMatrices(eigenSlot int, matrices []int, edgeLen
 // — each over its own pattern slice. This is the load-balanced execution of
 // §IX. With rebalancing enabled it also times each backend and, at interval
 // boundaries, repartitions the patterns to match measured throughput.
+//
+// Scaling — including DestScaleRead — is per pattern, so forwarding the ops
+// unchanged is exact: each backend applies read and write scale factors to
+// its own pattern slice of the shared scale buffer indices.
 func (e *Engine) UpdatePartials(ops []engine.Operation) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -32,7 +32,9 @@ type Kind uint8
 
 // Span kinds, grouped by layer.
 const (
-	// KindBatch is one UpdatePartials batch on one engine (Arg0 = ops).
+	// KindBatch is one UpdatePartials batch on one engine (Arg0 = executed
+	// ops, Arg1 = ops skipped by incremental re-evaluation; a fully clean
+	// resubmission appears as a skip span with Arg0 = 0).
 	KindBatch Kind = iota
 	// KindLevel is one scheduler dependency level of a leveled CPU strategy
 	// (Arg0 = level index, Arg1 = ops in the level).

@@ -57,6 +57,7 @@ func NewMultiDeviceInstance(cfg Config, resourceIDs []int, shares []float64) (*I
 		MinPatternsWork: cfg.MinPatternsForThreading,
 		WorkGroupSize:   cfg.WorkGroupSize,
 		DisableFMA:      cfg.Flags&FlagDisableFMA != 0,
+		Reuse:           cfg.Flags&FlagReuse != 0,
 	}
 	tel := newInstanceCollector(cfg.Flags)
 	ecfg.Telemetry = tel

@@ -1,0 +1,218 @@
+package gobeagle
+
+import (
+	"math"
+	"testing"
+
+	"gobeagle/internal/device"
+)
+
+// maxAbsDiff returns the largest absolute element difference.
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// runScaleReadRoundTrip exercises the DestScaleRead semantics on one
+// instance:
+//
+//  1. evaluate the tree plainly and snapshot the raw root partials;
+//  2. re-run the root operation with DestScaleWrite=s — the destination is
+//     rescaled and the factors land in s;
+//  3. re-run the root operation with DestScaleRead=s — the fresh combine is
+//     divided by exp(s), which must reproduce the rescaled destination of
+//     step 2, not the raw partials of step 1.
+//
+// Step 3 is the regression: an implementation that silently ignores
+// DestScaleRead (the old behavior) leaves the raw partials in place and
+// fails the comparison.
+func runScaleReadRoundTrip(t *testing.T, pr *reuseProblem, inst *Instance) {
+	t.Helper()
+	pr.setup(t, inst)
+	plain := pr.evalFull(t, inst)
+
+	sched := pr.tr.FullSchedule()
+	last := sched.Ops[len(sched.Ops)-1]
+	if last.Dest != sched.Root {
+		t.Fatalf("schedule does not end at the root (%d != %d)", last.Dest, sched.Root)
+	}
+	raw, err := inst.GetPartials(sched.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rootOp := Operation{
+		Destination: last.Dest, DestScaleWrite: 0, DestScaleRead: None,
+		Child1: last.Child1, Child1Matrix: last.Child1Mat,
+		Child2: last.Child2, Child2Matrix: last.Child2Mat,
+	}
+	if err := inst.UpdatePartials([]Operation{rootOp}); err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := inst.GetPartials(sched.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxAbsDiff(raw, scaled) == 0 {
+		t.Fatal("rescaling left the root partials unchanged; the round trip has no teeth")
+	}
+
+	rootOp.DestScaleWrite = None
+	rootOp.DestScaleRead = 0
+	if err := inst.UpdatePartials([]Operation{rootOp}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.GetPartials(sched.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(got, scaled); d > 1e-12 {
+		t.Fatalf("DestScaleRead did not reproduce the rescaled partials (max diff %v vs scaled, %v vs raw)",
+			d, maxAbsDiff(got, raw))
+	}
+	// The likelihood must come out right too: destination divided by exp(s),
+	// cumulative buffer s adding the factors back.
+	lnL, err := inst.CalculateRootLogLikelihoods(sched.Root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lnL-plain) > 1e-10*math.Abs(plain) {
+		t.Fatalf("read-scaled lnL %v, want plain %v", lnL, plain)
+	}
+
+	// Read and write together: the read factors are applied first, the
+	// rescale captures the residual into a second buffer, and accumulating
+	// both buffers restores the total.
+	rootOp.DestScaleWrite = 1
+	if err := inst.UpdatePartials([]Operation{rootOp}); err != nil {
+		t.Fatal(err)
+	}
+	cum := 2
+	if err := inst.ResetScaleFactors(cum); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.AccumulateScaleFactors([]int{0, 1}, cum); err != nil {
+		t.Fatal(err)
+	}
+	lnL2, err := inst.CalculateRootLogLikelihoods(sched.Root, cum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lnL2-plain) > 1e-10*math.Abs(plain) {
+		t.Fatalf("read+write scaled lnL %v, want plain %v", lnL2, plain)
+	}
+}
+
+// TestDestScaleReadSemantics pins the read-scale semantics on the CPU and on
+// every modeled accelerator backend.
+func TestDestScaleReadSemantics(t *testing.T) {
+	device.ResetPlatforms()
+	pr := newReuseProblem(t, 111, 8, 150)
+	resources := []struct {
+		name      string
+		framework string
+	}{
+		{"", ""}, // host CPU
+		{"Quadro P5000", "CUDA"},
+		{"Radeon R9 Nano", "OpenCL"},
+		{"Xeon E5-2680v4 x2", "OpenCL"},
+	}
+	for _, r := range resources {
+		name := r.name
+		if name == "" {
+			name = "CPU"
+		}
+		t.Run(name, func(t *testing.T) {
+			id := 0
+			if r.name != "" {
+				rsc, err := FindResource(r.name, r.framework)
+				if err != nil {
+					t.Fatal(err)
+				}
+				id = rsc.ID
+			}
+			inst, err := NewInstance(pr.config(id, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer inst.Finalize()
+			runScaleReadRoundTrip(t, pr, inst)
+		})
+	}
+}
+
+// TestDestScaleReadMultiDevice checks that the multi-device engine forwards
+// read scaling per pattern slice: the round trip must hold on a partitioned
+// CPU + GPU instance.
+func TestDestScaleReadMultiDevice(t *testing.T) {
+	device.ResetPlatforms()
+	pr := newReuseProblem(t, 113, 8, 150)
+	gpu, err := FindResource("Quadro P5000", "CUDA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewMultiDeviceInstance(pr.config(0, 0), []int{0, gpu.ID}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Finalize()
+	runScaleReadRoundTrip(t, pr, inst)
+}
+
+// TestDestScaleReadWithReuse: the reuse signature includes the read buffer
+// and its version, so changing only DestScaleRead on an otherwise identical
+// operation must recompute, and accumulating into a read buffer must dirty
+// its dependents.
+func TestDestScaleReadWithReuse(t *testing.T) {
+	device.ResetPlatforms()
+	pr := newReuseProblem(t, 115, 8, 150)
+	inst, err := NewInstance(pr.config(0, FlagReuse))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Finalize()
+	runScaleReadRoundTrip(t, pr, inst)
+
+	// Re-accumulating into buffer 0 (the read source) must invalidate the
+	// root operation's cached result: the next read resubmission recomputes
+	// instead of skipping stale state.
+	before := inst.ReuseStats()
+	if err := inst.ResetScaleFactors(0); err != nil {
+		t.Fatal(err)
+	}
+	sched := pr.tr.FullSchedule()
+	last := sched.Ops[len(sched.Ops)-1]
+	rootOp := Operation{
+		Destination: last.Dest, DestScaleWrite: None, DestScaleRead: 0,
+		Child1: last.Child1, Child1Matrix: last.Child1Mat,
+		Child2: last.Child2, Child2Matrix: last.Child2Mat,
+	}
+	if err := inst.UpdatePartials([]Operation{rootOp}); err != nil {
+		t.Fatal(err)
+	}
+	after := inst.ReuseStats()
+	if after.OpMisses != before.OpMisses+1 {
+		t.Fatalf("dirty read buffer did not force a recompute: misses %d -> %d", before.OpMisses, after.OpMisses)
+	}
+	// Buffer 0 is now zeroed, so the read is a no-op and the destination
+	// holds the raw combine again.
+	lnL, err := inst.CalculateRootLogLikelihoods(sched.Root, None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainInst, err := NewInstance(pr.config(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plainInst.Finalize()
+	pr.setup(t, plainInst)
+	plain := pr.evalFull(t, plainInst)
+	if lnL != plain {
+		t.Fatalf("zeroed read buffer lnL %v, want plain %v", lnL, plain)
+	}
+}

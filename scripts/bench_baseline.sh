@@ -5,9 +5,9 @@
 # scripts/bench_gate.sh gates CI runs against them.
 #
 # fig4smoke throughput comes from the calibrated performance models and is
-# fully deterministic; rebalance speedups are measured wall-clock ratios with
-# a few percent of run-to-run noise, which the gate's wider rebalance
-# tolerance absorbs.
+# fully deterministic; rebalance and mcmcreuse speedups are measured
+# wall-clock ratios with a few percent of run-to-run noise, which the gate's
+# wider tolerances for those experiments absorb.
 set -eu
 
 ROOT=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
@@ -17,5 +17,6 @@ mkdir -p "$OUT"
 echo "== regenerating baselines into $OUT"
 go -C "$ROOT" run ./cmd/beaglebench -experiment fig4smoke -json "$OUT" >/dev/null
 go -C "$ROOT" run ./cmd/beaglebench -experiment rebalance -json "$OUT" >/dev/null
+go -C "$ROOT" run ./cmd/beaglebench -experiment mcmcreuse -json "$OUT" >/dev/null
 ls -l "$OUT"
 echo "baselines regenerated; review the diff before committing"
