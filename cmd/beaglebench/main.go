@@ -34,7 +34,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table3, table3hybrid, table4, table5, fig4, fig4smoke, fig5, fig6, rebalance, mcmcreuse, or all")
+	experiment := flag.String("experiment", "all", "table3, table3hybrid, table4, table5, fig4, fig4smoke, fig5, fig6, rebalance, mcmcreuse, serve, or all")
 	jsonDir := flag.String("json", "", "directory to also write machine-readable BENCH_<experiment>.json reports")
 	compare := flag.String("compare", "", "baseline directory (or single BENCH_<experiment>.json) to gate each experiment against")
 	tolerance := flag.Float64("tolerance", benchmarks.DefaultTolerance, "relative regression tolerance for -compare")
@@ -52,11 +52,12 @@ func main() {
 		"fig6":         runFig6,
 		"rebalance":    runRebalance,
 		"mcmcreuse":    runMcmcReuse,
+		"serve":        runServe,
 	}
 	// fig4smoke is a reduced sweep for CI smoke runs; "all" keeps the paper's
-	// full experiment set plus the §IX rebalance demonstration and the
-	// incremental re-evaluation experiment.
-	order := []string{"table3", "table3hybrid", "table4", "table5", "fig4", "fig5", "fig6", "rebalance", "mcmcreuse"}
+	// full experiment set plus the §IX rebalance demonstration, the
+	// incremental re-evaluation experiment and the serving-layer load test.
+	order := []string{"table3", "table3hybrid", "table4", "table5", "fig4", "fig5", "fig6", "rebalance", "mcmcreuse", "serve"}
 
 	selected := []string{}
 	if *experiment == "all" {
@@ -239,4 +240,17 @@ func runMcmcReuse(w io.Writer) (benchmarks.Report, error) {
 	}
 	benchmarks.PrintMcmcReuse(w, rows)
 	return benchmarks.McmcReuseReport(rows, tips, patterns), nil
+}
+
+// runServe load-tests the beagled serving layer: 256 concurrent clients
+// against the warm-instance micro-batching pool and against the naive
+// one-instance-per-request design, gating the p99 tail-latency ratio.
+func runServe(w io.Writer) (benchmarks.Report, error) {
+	const clients, requests = 256, 4096
+	rows, ratio, err := benchmarks.Serve(clients, requests)
+	if err != nil {
+		return benchmarks.Report{}, err
+	}
+	benchmarks.PrintServe(w, rows, ratio)
+	return benchmarks.ServeReport(rows, ratio), nil
 }

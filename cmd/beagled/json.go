@@ -1,0 +1,15 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+)
+
+func jsonDecode(s string, v any) error {
+	return json.NewDecoder(strings.NewReader(s)).Decode(v)
+}
+
+func jsonDecodeReader(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}

@@ -1,0 +1,191 @@
+// Command beagleload load-tests a running beagled daemon: closed-loop
+// workers hammer POST /v1/evaluate with deterministic generated problems and
+// the run reports throughput and the latency distribution. With -verify, the
+// served log likelihood of every distinct problem is first recomputed on a
+// local dedicated instance via the same serving code path, and any response
+// that is not bit-identical fails the run — this is the assertion the CI
+// serve-smoke job relies on.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"gobeagle/internal/loadgen"
+	"gobeagle/internal/serve"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8380", "beagled base URL")
+		concurrency = flag.Int("concurrency", 32, "closed-loop workers")
+		requests    = flag.Int("requests", 512, "total measured requests")
+		warmup      = flag.Int("warmup", 64, "discarded warmup requests")
+		tips        = flag.Int("tips", 8, "tips per generated tree")
+		sites       = flag.Int("sites", 200, "alignment length")
+		shapes      = flag.Int("shapes", 4, "distinct generated problems cycled through the run")
+		seed        = flag.Int64("seed", 42, "problem generator seed")
+		tenant      = flag.String("tenant", "loadgen", "X-Beagle-Tenant header value")
+		verify      = flag.Bool("verify", false, "verify every response is bit-identical to direct local evaluation")
+		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	problems := make([][]byte, *shapes)
+	want := make([]float64, *shapes)
+	for i := range problems {
+		req := generateRequest(*tips, *sites, *seed+int64(i))
+		body, err := json.Marshal(req)
+		if err != nil {
+			log.Fatalf("beagleload: marshal: %v", err)
+		}
+		problems[i] = body
+		if *verify {
+			want[i] = directLogLikelihood(req)
+		}
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	base := strings.TrimRight(*url, "/")
+	verifyFailures := 0
+	rep := loadgen.Run(context.Background(), loadgen.Options{
+		Concurrency:    *concurrency,
+		Requests:       *requests,
+		WarmupRequests: *warmup,
+	}, func(ctx context.Context, worker, seq int) loadgen.Result {
+		shape := (worker + seq) % len(problems)
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			base+"/v1/evaluate", bytes.NewReader(problems[shape]))
+		if err != nil {
+			return loadgen.Result{Err: err}
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("X-Beagle-Tenant", *tenant)
+		start := time.Now()
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return loadgen.Result{Err: err}
+		}
+		defer resp.Body.Close()
+		var body serve.EvaluateResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				return loadgen.Result{Err: err}
+			}
+			if *verify && body.LogLikelihood != want[shape] {
+				verifyFailures++
+				return loadgen.Result{Err: fmt.Errorf("shape %d: served lnL %v != direct %v",
+					shape, body.LogLikelihood, want[shape])}
+			}
+		}
+		return loadgen.Result{Code: resp.StatusCode, Latency: time.Since(start)}
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		fmt.Printf("beagleload: %d requests in %v (%.1f req/s), %d errors\n",
+			rep.Requests, rep.Elapsed.Round(time.Millisecond), rep.RPS, rep.Errors)
+		for code, n := range rep.Codes {
+			fmt.Printf("  HTTP %d: %d\n", code, n)
+		}
+		fmt.Printf("  latency p50 %v  p95 %v  p99 %v  mean %v  max %v\n",
+			rep.P50.Round(time.Microsecond), rep.P95.Round(time.Microsecond),
+			rep.P99.Round(time.Microsecond), rep.Mean.Round(time.Microsecond),
+			rep.Max.Round(time.Microsecond))
+	}
+
+	if *verify {
+		if verifyFailures > 0 {
+			log.Fatalf("beagleload: %d responses were NOT bit-identical to direct evaluation", verifyFailures)
+		}
+		fmt.Printf("beagleload: all %d OK responses bit-identical to direct evaluation\n", rep.Codes[http.StatusOK])
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+	if rep.Codes[http.StatusOK] == 0 {
+		log.Fatalf("beagleload: no successful responses")
+	}
+}
+
+// generateRequest builds a deterministic random problem: a random tree over
+// `tips` taxa with HKY85+Γ4 and a mutated star alignment.
+func generateRequest(tips, sites int, seed int64) *serve.EvaluateRequest {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, tips)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+	}
+	newick := randomNewick(rng, names)
+	const bases = "ACGT"
+	root := make([]byte, sites)
+	for i := range root {
+		root[i] = bases[rng.Intn(4)]
+	}
+	seqs := map[string]string{}
+	for _, name := range names {
+		leaf := append([]byte(nil), root...)
+		for i := range leaf {
+			if rng.Float64() < 0.15 {
+				leaf[i] = bases[rng.Intn(4)]
+			}
+		}
+		seqs[name] = string(leaf)
+	}
+	return &serve.EvaluateRequest{
+		Newick:    newick,
+		Model:     serve.ModelSpec{Type: "HKY85", Kappa: 2 + rng.Float64(), Frequencies: []float64{0.3, 0.2, 0.2, 0.3}},
+		Gamma:     &serve.GammaSpec{Alpha: 0.5 + rng.Float64(), Categories: 4},
+		Sequences: seqs,
+	}
+}
+
+// randomNewick builds a random rooted binary topology by repeatedly joining
+// two subtrees.
+func randomNewick(rng *rand.Rand, names []string) string {
+	nodes := make([]string, len(names))
+	for i, n := range names {
+		nodes[i] = fmt.Sprintf("%s:%.4f", n, 0.02+0.2*rng.Float64())
+	}
+	for len(nodes) > 1 {
+		i := rng.Intn(len(nodes))
+		a := nodes[i]
+		nodes = append(nodes[:i], nodes[i+1:]...)
+		j := rng.Intn(len(nodes))
+		b := nodes[j]
+		joined := fmt.Sprintf("(%s,%s):%.4f", a, b, 0.02+0.1*rng.Float64())
+		nodes[j] = joined
+	}
+	root := nodes[0]
+	// Strip the root's branch length.
+	if i := strings.LastIndex(root, ")"); i >= 0 {
+		root = root[:i+1]
+	}
+	return root + ";"
+}
+
+// directLogLikelihood evaluates one request on the one-instance-per-request
+// path, the bit-identity reference.
+func directLogLikelihood(req *serve.EvaluateRequest) float64 {
+	opts := serve.DefaultOptions()
+	opts.DisablePool = true
+	s := serve.NewServer(opts)
+	defer s.Close()
+	resp, code, err := s.Evaluate(context.Background(), req)
+	if err != nil {
+		log.Fatalf("beagleload: direct reference evaluation failed (HTTP %d): %v", code, err)
+	}
+	return resp.LogLikelihood
+}

@@ -1,6 +1,7 @@
 package gobeagle
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"sort"
@@ -12,17 +13,33 @@ import (
 
 // DebugServer is an instance's live debug HTTP server, started by
 // Instance.ServeDebug. Close it when done; it does not outlive the process
-// on its own.
+// on its own. DebugServer implements io.Closer.
 type DebugServer struct {
-	srv *http.Server
-	ln  net.Listener
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{} // closed when the Serve goroutine has returned
 }
 
 // Addr returns the server's bound address, useful with ":0" listeners.
 func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down immediately.
-func (s *DebugServer) Close() error { return s.srv.Close() }
+// Close shuts the server down immediately, dropping in-flight requests, and
+// waits for the serve goroutine to exit so no handler touches the instance
+// after Close returns.
+func (s *DebugServer) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately, but
+// in-flight requests are allowed to finish until the context is cancelled.
+// Like Close, it waits for the serve goroutine to exit.
+func (s *DebugServer) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}
 
 // ServeDebug starts an opt-in debug HTTP server for this instance on addr
 // (e.g. "localhost:6060", or "127.0.0.1:0" to pick a free port — read it
@@ -43,8 +60,12 @@ func (in *Instance) ServeDebug(addr string) (*DebugServer, error) {
 		return nil, err
 	}
 	srv := &http.Server{Handler: metricsx.NewMux(instanceSource{in})}
-	go srv.Serve(ln)
-	return &DebugServer{srv: srv, ln: ln}, nil
+	s := &DebugServer{srv: srv, ln: ln, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		srv.Serve(ln)
+	}()
+	return s, nil
 }
 
 // instanceSource adapts an Instance to the metricsx.Source views.

@@ -1,11 +1,13 @@
 package gobeagle
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestServeDebugEndpoints exercises the live debug server over a real TCP
@@ -91,6 +93,62 @@ func TestServeDebugEndpoints(t *testing.T) {
 	// Single-device instance: no rebalance history.
 	if body := strings.TrimSpace(get("/debug/rebalance")); body != "null" {
 		t.Errorf("/debug/rebalance = %q, want null", body)
+	}
+}
+
+// TestServeDebugShutdown is the regression test for debug-server teardown:
+// Close and Shutdown must wait for the serve goroutine to exit (so nothing
+// touches the instance afterwards), a graceful Shutdown must let an in-flight
+// request finish, and both must leave the port closed.
+func TestServeDebugShutdown(t *testing.T) {
+	tr, m, rates, ps := statsProblem(t)
+	inst, err := NewInstance(instanceConfig(tr, 4, ps.PatternCount(), 4, 0, FlagTelemetry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Finalize()
+	evaluateTree(t, inst, tr, m, rates, ps)
+
+	srv, err := inst.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	// A request in flight when Shutdown starts must complete with 200.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The serve goroutine has exited and the listener is closed: new
+	// connections must fail immediately.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatalf("GET after Shutdown succeeded; listener still open")
+	}
+	// Second teardown is safe.
+	if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("Close after Shutdown: %v", err)
+	}
+
+	// Close (abrupt path) on a fresh server also closes the port and waits.
+	srv2, err := inst.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2 := srv2.Addr()
+	if err := srv2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr2 + "/metrics"); err == nil {
+		t.Fatalf("GET after Close succeeded; listener still open")
 	}
 }
 

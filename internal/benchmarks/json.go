@@ -30,6 +30,14 @@ type Record struct {
 	// accounting; Speedup is relative to the experiment's stated baseline.
 	GFLOPS  float64 `json:"gflops,omitempty"`
 	Speedup float64 `json:"speedup,omitempty"`
+	// Serving-layer results (the serve experiment): request latency
+	// percentiles and throughput under concurrent load. Informational —
+	// absolute latencies are too machine-dependent to gate; the gated
+	// serve record carries the pooled-vs-per-request p99 ratio in Speedup.
+	P50Ms float64 `json:"p50_ms,omitempty"`
+	P95Ms float64 `json:"p95_ms,omitempty"`
+	P99Ms float64 `json:"p99_ms,omitempty"`
+	RPS   float64 `json:"rps,omitempty"`
 }
 
 // Report is the machine-readable form of one experiment, written as

@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunBudgetAndCodes(t *testing.T) {
+	var calls atomic.Int64
+	rep := Run(context.Background(), Options{Concurrency: 4, Requests: 100}, func(ctx context.Context, w, seq int) Result {
+		n := calls.Add(1)
+		if n%10 == 0 {
+			return Result{Code: 429, Latency: time.Millisecond}
+		}
+		if n%25 == 0 {
+			return Result{Err: fmt.Errorf("boom")}
+		}
+		return Result{Code: 200, Latency: time.Millisecond}
+	})
+	if got := rep.Requests + rep.Errors; got != 100 {
+		t.Fatalf("measured %d results, want 100", got)
+	}
+	if rep.Errors == 0 || rep.Codes[429] == 0 || rep.Codes[200] == 0 {
+		t.Fatalf("mix not preserved: %+v", rep)
+	}
+	if rep.RPS <= 0 {
+		t.Fatalf("RPS = %v", rep.RPS)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	// Latencies 1..100ms, uniform: p50 = 50ms, p99 = 99ms by nearest rank.
+	i := atomic.Int64{}
+	rep := Run(context.Background(), Options{Concurrency: 1, Requests: 100}, func(ctx context.Context, w, seq int) Result {
+		return Result{Code: 200, Latency: time.Duration(i.Add(1)) * time.Millisecond}
+	})
+	if rep.P50 != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", rep.P50)
+	}
+	if rep.P95 != 95*time.Millisecond {
+		t.Errorf("p95 = %v, want 95ms", rep.P95)
+	}
+	if rep.P99 != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", rep.P99)
+	}
+	if rep.Max != 100*time.Millisecond {
+		t.Errorf("max = %v, want 100ms", rep.Max)
+	}
+}
+
+func TestWarmupDiscarded(t *testing.T) {
+	var calls atomic.Int64
+	rep := Run(context.Background(), Options{Concurrency: 2, Requests: 10, WarmupRequests: 5}, func(ctx context.Context, w, seq int) Result {
+		calls.Add(1)
+		return Result{Code: 200, Latency: time.Microsecond}
+	})
+	if calls.Load() != 15 {
+		t.Fatalf("target saw %d calls, want 15 (5 warmup + 10 measured)", calls.Load())
+	}
+	if rep.Requests != 10 {
+		t.Fatalf("measured %d, want 10", rep.Requests)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	go func() {
+		for calls.Load() < 5 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	rep := Run(ctx, Options{Concurrency: 2, Requests: 1_000_000}, func(ctx context.Context, w, seq int) Result {
+		calls.Add(1)
+		time.Sleep(time.Millisecond)
+		return Result{Code: 200}
+	})
+	if rep.Requests >= 1_000_000 {
+		t.Fatalf("cancellation did not stop the run")
+	}
+}

@@ -108,6 +108,22 @@ func charIndexFor(stateCount int) (func(byte) int, error) {
 	}
 }
 
+// DecodeSequence maps one aligned character string to state indices under
+// the given state count (4 = IUPAC nucleotide, 20 = amino acid). Gaps,
+// ambiguity codes and unrecognized characters become the fully ambiguous
+// state (stateCount), matching ReadFASTA's encoding.
+func DecodeSequence(chars string, stateCount int) ([]int, error) {
+	decode, err := charIndexFor(stateCount)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(chars))
+	for i := 0; i < len(chars); i++ {
+		out[i] = decode(chars[i])
+	}
+	return out, nil
+}
+
 // stateChar renders a state back to its character.
 func stateChar(stateCount, s int) byte {
 	if stateCount == 4 {

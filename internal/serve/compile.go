@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"gobeagle/internal/linalg"
+	"gobeagle/internal/seqgen"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/tree"
+)
+
+// ModelSpec selects a substitution model on the wire. Type is one of JC69,
+// K80, HKY85, GTR, GY94, PoissonAA, GTRAA or general; parameters that do not
+// apply to a type are ignored.
+type ModelSpec struct {
+	Type        string    `json:"type"`
+	Kappa       float64   `json:"kappa,omitempty"`
+	Omega       float64   `json:"omega,omitempty"`
+	Rates       []float64 `json:"rates,omitempty"`
+	Frequencies []float64 `json:"frequencies,omitempty"`
+}
+
+// GammaSpec selects discrete-gamma among-site rate variation.
+type GammaSpec struct {
+	Alpha      float64 `json:"alpha"`
+	Categories int     `json:"categories"`
+}
+
+// EvaluateRequest is the POST /v1/evaluate body: one tree, one model, one
+// alignment, evaluated to the root log likelihood (optionally per-site log
+// likelihoods and the root-branch derivatives).
+type EvaluateRequest struct {
+	// Tenant attributes the request to a quota bucket; the X-Beagle-Tenant
+	// header takes precedence. Empty means "default".
+	Tenant string `json:"tenant,omitempty"`
+	// Newick is the rooted binary tree with branch lengths; tip names must
+	// match the sequence keys.
+	Newick string    `json:"newick"`
+	Model  ModelSpec `json:"model"`
+	// Gamma adds discrete-gamma rate categories; nil evaluates a single rate.
+	Gamma *GammaSpec `json:"gamma,omitempty"`
+	// Sequences maps tip name to an aligned character sequence (IUPAC
+	// nucleotide for 4-state models, one-letter amino acid for 20-state).
+	Sequences map[string]string `json:"sequences,omitempty"`
+	// States maps tip name to raw per-site state indices, for alphabets
+	// without a character encoding (codon models). Values ≥ the model's
+	// state count denote full ambiguity.
+	States map[string][]int `json:"states,omitempty"`
+	// Precision is "double" (default) or "single".
+	Precision string `json:"precision,omitempty"`
+	// SiteLogLikelihoods returns per-site (not per-pattern) root log
+	// likelihoods alongside the total.
+	SiteLogLikelihoods bool `json:"site_log_likelihoods,omitempty"`
+	// EdgeDerivatives also returns d lnL/dt and d² lnL/dt² with respect to
+	// the root branch (the summed branch between the root's two children).
+	EdgeDerivatives bool `json:"edge_derivatives,omitempty"`
+}
+
+// PoolInfo reports how the serving layer executed a request.
+type PoolInfo struct {
+	// Key is the warm-instance pool key the request mapped to.
+	Key string `json:"key"`
+	// Hit is true when a warm calculator existed for the key.
+	Hit bool `json:"hit"`
+	// Batched is the number of requests coalesced into the same scheduler
+	// submission (1 = the request ran alone).
+	Batched int `json:"batched"`
+	// Slot is the calculator slot id the request evaluated in.
+	Slot int `json:"slot"`
+	// WaitMicros is the queueing delay from admission to batch start.
+	WaitMicros int64 `json:"wait_us"`
+}
+
+// EvaluateResponse is the POST /v1/evaluate reply.
+type EvaluateResponse struct {
+	LogLikelihood      float64   `json:"log_likelihood"`
+	SiteLogLikelihoods []float64 `json:"site_log_likelihoods,omitempty"`
+	// D1 and D2 are the root-branch log-likelihood derivatives when
+	// edge_derivatives was requested; RootBranch is the branch length they
+	// were evaluated at (the sum of the root's two child branches).
+	D1         float64 `json:"d1,omitempty"`
+	D2         float64 `json:"d2,omitempty"`
+	RootBranch float64 `json:"root_branch,omitempty"`
+
+	Tips     int      `json:"tips"`
+	Sites    int      `json:"sites"`
+	Patterns int      `json:"patterns"`
+	Pool     PoolInfo `json:"pool"`
+}
+
+// compiled is a fully validated, instance-ready form of one request: the
+// tree schedule, eigendecomposition, rate mixture and compressed patterns.
+type compiled struct {
+	key        PoolKey
+	tips       int
+	patterns   int // exact pattern count before bucket padding
+	sites      int
+	eigen      *linalg.EigenDecomposition
+	freqs      []float64
+	rates      []float64
+	catWeights []float64
+	tipStates  [][]int // [tip][pattern], exact length patterns
+	weights    []float64
+	sched      *tree.Schedule
+	rootLeft   int
+	rootRight  int
+	rootLen    float64
+	siteOf     []int // site -> pattern index
+	wantSite   bool
+	wantDeriv  bool
+}
+
+// buildModel constructs the substitution model named by the spec.
+func buildModel(spec ModelSpec) (*substmodel.Model, error) {
+	switch strings.ToUpper(spec.Type) {
+	case "JC69":
+		return substmodel.NewJC69(), nil
+	case "K80":
+		return substmodel.NewK80(spec.Kappa)
+	case "HKY85", "":
+		freqs := spec.Frequencies
+		if freqs == nil {
+			freqs = []float64{0.25, 0.25, 0.25, 0.25}
+		}
+		kappa := spec.Kappa
+		if kappa == 0 {
+			kappa = 2
+		}
+		return substmodel.NewHKY85(kappa, freqs)
+	case "GTR":
+		return substmodel.NewGTR(spec.Rates, spec.Frequencies)
+	case "GY94":
+		return substmodel.NewGY94(spec.Kappa, spec.Omega, spec.Frequencies)
+	case "POISSONAA":
+		return substmodel.NewPoissonAA(spec.Frequencies)
+	case "GTRAA":
+		return substmodel.NewGTRAA(spec.Rates, spec.Frequencies)
+	case "GENERAL":
+		return substmodel.NewGeneralReversible("general", spec.Rates, spec.Frequencies)
+	default:
+		return nil, fmt.Errorf("serve: unknown model type %q", spec.Type)
+	}
+}
+
+// modelHash content-addresses a model spec for the eigen cache: identical
+// parameters hash identically across requests (rate categories scale branch
+// lengths, not the decomposition, so they stay out of the key).
+func modelHash(spec ModelSpec) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%g|%g|%v|%v", strings.ToUpper(spec.Type), spec.Kappa, spec.Omega, spec.Rates, spec.Frequencies)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// compressColumns collapses identical alignment columns into unique patterns
+// (ordered by first appearance) with multiplicities, returning the
+// site-to-pattern mapping used to expand per-pattern results back to sites.
+func compressColumns(seqs [][]int, sites int) (patterns [][]int, weights []float64, siteOf []int) {
+	tips := len(seqs)
+	index := make(map[string]int)
+	siteOf = make([]int, sites)
+	var sb strings.Builder
+	col := make([]int, tips)
+	for site := 0; site < sites; site++ {
+		sb.Reset()
+		for tip := 0; tip < tips; tip++ {
+			col[tip] = seqs[tip][site]
+			fmt.Fprintf(&sb, "%d,", col[tip])
+		}
+		k := sb.String()
+		p, seen := index[k]
+		if !seen {
+			p = len(patterns)
+			index[k] = p
+			patterns = append(patterns, append([]int(nil), col...))
+			weights = append(weights, 0)
+		}
+		weights[p]++
+		siteOf[site] = p
+	}
+	return patterns, weights, siteOf
+}
+
+// compile validates a request against the server's limits and produces its
+// instance-ready form. The eigendecomposition is served from the content-
+// addressed cache when an identical model was compiled before.
+func (s *Server) compile(req *EvaluateRequest) (*compiled, error) {
+	tr, err := tree.ParseNewick(req.Newick)
+	if err != nil {
+		return nil, fmt.Errorf("newick: %w", err)
+	}
+	if tr.TipCount > s.opts.MaxTips {
+		return nil, fmt.Errorf("tree has %d tips, server limit is %d", tr.TipCount, s.opts.MaxTips)
+	}
+	model, err := buildModel(req.Model)
+	if err != nil {
+		return nil, err
+	}
+
+	var rates *substmodel.SiteRates
+	if req.Gamma != nil {
+		rates, err = substmodel.GammaRates(req.Gamma.Alpha, req.Gamma.Categories)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rates = substmodel.SingleRate()
+	}
+
+	seqs, sites, err := decodeSequences(req, tr, model.StateCount)
+	if err != nil {
+		return nil, err
+	}
+	patterns, weights, siteOf := compressColumns(seqs, sites)
+	if len(patterns) > s.opts.MaxPatterns {
+		return nil, fmt.Errorf("alignment compresses to %d patterns, server limit is %d", len(patterns), s.opts.MaxPatterns)
+	}
+
+	eigen, err := s.eigenFor(modelHash(req.Model), model)
+	if err != nil {
+		return nil, err
+	}
+
+	single := false
+	switch strings.ToLower(req.Precision) {
+	case "", "double":
+	case "single":
+		single = true
+	default:
+		return nil, fmt.Errorf("precision must be \"double\" or \"single\", got %q", req.Precision)
+	}
+
+	tipStates := make([][]int, tr.TipCount)
+	for tip := 0; tip < tr.TipCount; tip++ {
+		states := make([]int, len(patterns))
+		for p, pat := range patterns {
+			states[p] = pat[tip]
+		}
+		tipStates[tip] = states
+	}
+
+	c := &compiled{
+		key: PoolKey{
+			States:     model.StateCount,
+			Patterns:   bucketPatterns(len(patterns)),
+			Tips:       bucketTips(tr.TipCount),
+			Categories: len(rates.Rates),
+			Single:     single,
+			Flags:      s.opts.Flags,
+		},
+		tips:       tr.TipCount,
+		patterns:   len(patterns),
+		sites:      sites,
+		eigen:      eigen,
+		freqs:      model.Frequencies,
+		rates:      rates.Rates,
+		catWeights: rates.Weights,
+		tipStates:  tipStates,
+		weights:    weights,
+		sched:      tr.FullSchedule(),
+		rootLeft:   tr.Root.Left.Index,
+		rootRight:  tr.Root.Right.Index,
+		rootLen:    tr.Root.Left.Length + tr.Root.Right.Length,
+		siteOf:     siteOf,
+		wantSite:   req.SiteLogLikelihoods,
+		wantDeriv:  req.EdgeDerivatives,
+	}
+	return c, nil
+}
+
+// decodeSequences turns the request's character sequences or raw state
+// indices into per-tip state sequences in tree tip order.
+func decodeSequences(req *EvaluateRequest, tr *tree.Tree, stateCount int) ([][]int, int, error) {
+	if len(req.Sequences) == 0 && len(req.States) == 0 {
+		return nil, 0, fmt.Errorf("request has neither sequences nor states")
+	}
+	seqs := make([][]int, tr.TipCount)
+	sites := -1
+	for _, tip := range tr.Tips() {
+		name := tip.Name
+		var states []int
+		if raw, ok := req.States[name]; ok {
+			states = make([]int, len(raw))
+			for i, v := range raw {
+				if v < 0 {
+					return nil, 0, fmt.Errorf("tip %q: negative state %d at site %d", name, v, i)
+				}
+				states[i] = v
+			}
+		} else if chars, ok := req.Sequences[name]; ok {
+			decoded, err := decodeCharacters(chars, stateCount)
+			if err != nil {
+				return nil, 0, fmt.Errorf("tip %q: %w", name, err)
+			}
+			states = decoded
+		} else {
+			return nil, 0, fmt.Errorf("no sequence for tip %q", name)
+		}
+		if sites == -1 {
+			sites = len(states)
+		} else if len(states) != sites {
+			return nil, 0, fmt.Errorf("tip %q has %d sites, want %d (alignment must be rectangular)", name, len(states), sites)
+		}
+		seqs[tip.Index] = states
+	}
+	if sites <= 0 {
+		return nil, 0, fmt.Errorf("alignment has no sites")
+	}
+	return seqs, sites, nil
+}
+
+// decodeCharacters maps an aligned character string to state indices via the
+// library's FASTA alphabet tables (4 = IUPAC nucleotide, 20 = amino acid).
+func decodeCharacters(chars string, stateCount int) ([]int, error) {
+	return seqgen.DecodeSequence(chars, stateCount)
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"sort"
+
+	"gobeagle/internal/metricsx"
+	"gobeagle/internal/trace"
+)
+
+// serveSource adapts a Server to the metricsx.Source views, so the daemon's
+// /metrics and /debug endpoints render through the same exporter the
+// per-instance debug server uses.
+type serveSource struct{ s *Server }
+
+func (src serveSource) Metrics() []metricsx.Sample {
+	s := src.s
+	pool := s.pool.Stats()
+	samples := []metricsx.Sample{
+		{Name: "beagled_requests_total", Help: "evaluate requests admitted", Type: "counter",
+			Value: float64(s.requests.Load())},
+		{Name: "beagled_rejected_total", Help: "evaluate requests rejected before execution", Type: "counter",
+			Labels: map[string]string{"reason": "queue_full"}, Value: float64(s.rejectQueue.Load())},
+		{Name: "beagled_rejected_total", Type: "counter",
+			Labels: map[string]string{"reason": "quota"}, Value: float64(s.rejectQuota.Load())},
+		{Name: "beagled_rejected_total", Type: "counter",
+			Labels: map[string]string{"reason": "bad_request"}, Value: float64(s.badRequests.Load())},
+		{Name: "beagled_errors_total", Help: "evaluate requests failed during execution", Type: "counter",
+			Value: float64(s.evalErrors.Load())},
+		{Name: "beagled_inflight", Help: "requests currently being served", Type: "gauge",
+			Value: float64(s.inflight.Load())},
+		{Name: "beagled_pool_calculators", Help: "warm calculators currently pooled", Type: "gauge",
+			Value: float64(pool.Calculators)},
+		{Name: "beagled_pool_hits_total", Help: "pool lookups served by a warm calculator", Type: "counter",
+			Value: float64(pool.Hits)},
+		{Name: "beagled_pool_misses_total", Help: "pool lookups that built a calculator", Type: "counter",
+			Value: float64(pool.Misses)},
+		{Name: "beagled_pool_evictions_total", Help: "calculators evicted by the LRU cap", Type: "counter",
+			Value: float64(pool.Evictions)},
+		{Name: "beagled_eigen_cache_hits_total", Help: "eigendecompositions served from the model cache", Type: "counter",
+			Value: float64(s.eigenHits.Load())},
+		{Name: "beagled_eigen_cache_misses_total", Help: "eigendecompositions computed on cache miss", Type: "counter",
+			Value: float64(s.eigenMisses.Load())},
+	}
+	for _, c := range pool.PerKey {
+		labels := map[string]string{"key": c.Key}
+		samples = append(samples,
+			metricsx.Sample{Name: "beagled_calc_slots", Help: "slot capacity per warm calculator",
+				Type: "gauge", Labels: labels, Value: float64(c.Slots)},
+			metricsx.Sample{Name: "beagled_calc_batches_total", Help: "merged scheduler submissions per calculator",
+				Type: "counter", Labels: labels, Value: float64(c.Batches)},
+			metricsx.Sample{Name: "beagled_calc_requests_total", Help: "requests served per calculator",
+				Type: "counter", Labels: labels, Value: float64(c.Requests)},
+			metricsx.Sample{Name: "beagled_calc_batch_fill", Help: "mean requests coalesced per batch",
+				Type: "gauge", Labels: labels, Value: c.BatchFill},
+			metricsx.Sample{Name: "beagled_calc_grows_total", Help: "golden-ratio slot growths per calculator",
+				Type: "counter", Labels: labels, Value: float64(c.Grows)},
+			metricsx.Sample{Name: "beagled_calc_rebuilds_total", Help: "instance rebuilds per calculator",
+				Type: "counter", Labels: labels, Value: float64(c.Rebuilds)},
+			metricsx.Sample{Name: "beagled_calc_errors_total", Help: "failed requests per calculator",
+				Type: "counter", Labels: labels, Value: float64(c.Errors)},
+			metricsx.Sample{Name: "beagled_calc_queue_depth", Help: "requests waiting in the admission queue",
+				Type: "gauge", Labels: labels, Value: float64(c.QueueLen)},
+		)
+	}
+	return samples
+}
+
+func (src serveSource) Vars() map[string]any {
+	s := src.s
+	return map[string]any{
+		"requests":           s.requests.Load(),
+		"rejected_queue":     s.rejectQueue.Load(),
+		"rejected_quota":     s.rejectQuota.Load(),
+		"bad_requests":       s.badRequests.Load(),
+		"eval_errors":        s.evalErrors.Load(),
+		"inflight":           s.inflight.Load(),
+		"eigen_cache_hits":   s.eigenHits.Load(),
+		"eigen_cache_misses": s.eigenMisses.Load(),
+		"pool":               s.pool.Stats(),
+		"window_us":          s.opts.Window.Microseconds(),
+		"max_batch":          s.opts.MaxBatch,
+		"quota_rps":          s.opts.QuotaRPS,
+		"pool_disabled":      s.opts.DisablePool,
+	}
+}
+
+// RebalanceEvents is per-instance state; the serving layer has none.
+func (src serveSource) RebalanceEvents() any { return nil }
+
+// traceKindSummary mirrors the shape of the instance debug server's
+// /debug/trace rows for the serve-layer tracer.
+type traceKindSummary struct {
+	Kind    string `json:"kind"`
+	Layer   string `json:"layer"`
+	Count   int    `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+}
+
+func (src serveSource) TraceSummary() any {
+	byKind := map[trace.Kind]*traceKindSummary{}
+	for _, sp := range src.s.tracer.Snapshot() {
+		sum := byKind[sp.Kind]
+		if sum == nil {
+			sum = &traceKindSummary{Kind: sp.Kind.String(), Layer: sp.Kind.Layer().String()}
+			byKind[sp.Kind] = sum
+		}
+		sum.Count++
+		sum.TotalNs += sp.Dur
+	}
+	out := make([]traceKindSummary, 0, len(byKind))
+	for _, sum := range byKind {
+		out = append(out, *sum)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}

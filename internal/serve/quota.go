@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBuckets enforces per-tenant request quotas: each tenant owns a token
+// bucket refilled at Rate tokens per second up to Burst. A request takes one
+// token; an empty bucket rejects (the server maps that to 429 with a
+// Retry-After hint).
+type TokenBuckets struct {
+	rate  float64
+	burst float64
+
+	mu sync.Mutex
+	m  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxTenants bounds the tenant map; beyond it, buckets idle at full burst
+// are pruned (forgetting a full bucket is lossless).
+const maxTenants = 4096
+
+// NewTokenBuckets builds the quota table. rate ≤ 0 disables quotas
+// entirely (Allow always succeeds).
+func NewTokenBuckets(rate float64, burst int) *TokenBuckets {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBuckets{rate: rate, burst: float64(burst), m: map[string]*bucket{}}
+}
+
+// Allow takes one token from the tenant's bucket, reporting whether the
+// request is admitted and, when it is not, how long until a token refills.
+func (t *TokenBuckets) Allow(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if t.rate <= 0 {
+		return true, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, exists := t.m[tenant]
+	if !exists {
+		if len(t.m) >= maxTenants {
+			t.prune(now)
+		}
+		b = &bucket{tokens: t.burst, last: now}
+		t.m[tenant] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * t.rate
+		if b.tokens > t.burst {
+			b.tokens = t.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / t.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// prune drops buckets that have refilled to full burst; they carry no state
+// a fresh bucket would not. Called with the lock held.
+func (t *TokenBuckets) prune(now time.Time) {
+	for k, b := range t.m {
+		tokens := b.tokens + now.Sub(b.last).Seconds()*t.rate
+		if tokens >= t.burst {
+			delete(t.m, k)
+		}
+	}
+}

@@ -1,0 +1,484 @@
+// Package serve is the likelihood-as-a-service layer: it exposes the
+// library's evaluation pipeline over a small JSON wire API, backed by a pool
+// of warm instances keyed on problem shape with get/free slot recycling and
+// golden-ratio growth (the sts OnlineCalculator pattern), cross-request
+// micro-batching that coalesces compatible small queries into the wide
+// scheduler submissions the CPU strategies are good at, admission control
+// (bounded queues answering 429 on overload) and per-tenant token-bucket
+// quotas. cmd/beagled wraps this package in a daemon; internal/benchmarks'
+// serve experiment load-tests it against a one-instance-per-request
+// baseline.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gobeagle"
+	"gobeagle/internal/linalg"
+	"gobeagle/internal/metricsx"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/trace"
+)
+
+// Options configures a Server. The zero value is unusable; start from
+// DefaultOptions.
+type Options struct {
+	// Window is how long the micro-batcher holds the first request of a
+	// batch open for compatible arrivals; 0 disables the wait (queued
+	// requests still coalesce).
+	Window time.Duration
+	// MaxBatch caps the requests merged into one scheduler submission.
+	MaxBatch int
+	// InitialSlots is the slot capacity a fresh calculator starts with;
+	// bursts grow it by the golden ratio up to MaxBatch.
+	InitialSlots int
+	// QueueDepth bounds each calculator's admission queue; a full queue
+	// answers 429.
+	QueueDepth int
+	// MaxCalculators bounds the warm pool; beyond it the least recently
+	// used calculator is evicted and finalized.
+	MaxCalculators int
+	// MaxTips and MaxPatterns reject oversized requests with 422 before
+	// they reach the pool.
+	MaxTips     int
+	MaxPatterns int
+	// Flags are the instance flags pooled calculators run with (threading
+	// strategy etc.); FlagTelemetry is always added.
+	Flags gobeagle.Flags
+	// Threads bounds each pooled instance's worker threads (0 = all).
+	Threads int
+	// QuotaRPS and QuotaBurst configure per-tenant token buckets;
+	// QuotaRPS ≤ 0 disables quotas.
+	QuotaRPS   float64
+	QuotaBurst int
+	// RequestTimeout bounds how long a request may wait for its batch
+	// before answering 503.
+	RequestTimeout time.Duration
+	// DisablePool evaluates every request on a freshly created, immediately
+	// finalized instance — the one-instance-per-request ablation the serve
+	// benchmark compares against. Admission control and quotas still apply.
+	DisablePool bool
+}
+
+// DefaultOptions returns the daemon's default tuning.
+func DefaultOptions() Options {
+	return Options{
+		Window:         2 * time.Millisecond,
+		MaxBatch:       32,
+		InitialSlots:   4,
+		QueueDepth:     1024,
+		MaxCalculators: 8,
+		MaxTips:        256,
+		MaxPatterns:    8192,
+		Flags:          gobeagle.FlagThreadingThreadPoolHybrid,
+		QuotaRPS:       0,
+		QuotaBurst:     64,
+		RequestTimeout: 30 * time.Second,
+	}
+}
+
+// Server is the serving layer: an http.Handler exposing /v1/evaluate and
+// /v1/health plus the debug surface (/metrics, /debug/*) through the
+// library's metricsx exporter.
+type Server struct {
+	opts   Options
+	pool   *Pool
+	quota  *TokenBuckets
+	tracer *trace.Tracer
+	mux    *http.ServeMux
+	start  time.Time
+
+	eigenMu     sync.Mutex
+	eigenCache  map[string]*linalg.EigenDecomposition
+	eigenHits   atomic.Uint64
+	eigenMisses atomic.Uint64
+
+	requests    atomic.Uint64 // admitted evaluate requests
+	rejectQueue atomic.Uint64 // 429: queue full
+	rejectQuota atomic.Uint64 // 429: tenant quota
+	badRequests atomic.Uint64 // 4xx parse/validation failures
+	evalErrors  atomic.Uint64 // 5xx evaluation failures
+	inflight    atomic.Int64
+}
+
+// NewServer builds the serving layer. Zero-valued option fields are filled
+// from DefaultOptions.
+func NewServer(opts Options) *Server {
+	def := DefaultOptions()
+	if opts.Window < 0 {
+		opts.Window = 0
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = def.MaxBatch
+	}
+	if opts.InitialSlots <= 0 {
+		opts.InitialSlots = def.InitialSlots
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = def.QueueDepth
+	}
+	if opts.MaxCalculators <= 0 {
+		opts.MaxCalculators = def.MaxCalculators
+	}
+	if opts.MaxTips <= 0 {
+		opts.MaxTips = def.MaxTips
+	}
+	if opts.MaxPatterns <= 0 {
+		opts.MaxPatterns = def.MaxPatterns
+	}
+	if opts.QuotaBurst <= 0 {
+		opts.QuotaBurst = def.QuotaBurst
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = def.RequestTimeout
+	}
+	tr := trace.New()
+	tr.SetEnabled(true)
+	s := &Server{
+		opts:       opts,
+		tracer:     tr,
+		quota:      NewTokenBuckets(opts.QuotaRPS, opts.QuotaBurst),
+		start:      time.Now(),
+		eigenCache: map[string]*linalg.EigenDecomposition{},
+	}
+	s.pool = NewPool(opts, tr)
+	s.mux = s.buildMux()
+	return s
+}
+
+// Options returns the server's effective (defaulted) options.
+func (s *Server) Options() Options { return s.opts }
+
+// Close tears down the pool, finalizing every warm instance.
+func (s *Server) Close() { s.pool.Close() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	debug := metricsx.NewMux(serveSource{s})
+	mux.Handle("/metrics", debug)
+	mux.Handle("/debug/", debug)
+	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("/v1/health", s.handleHealth)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "beagled — likelihood-as-a-service")
+		fmt.Fprintln(w, "  POST /v1/evaluate  evaluate a tree (JSON)")
+		fmt.Fprintln(w, "  GET  /v1/health    liveness and pool summary")
+		fmt.Fprintln(w, "  GET  /metrics      Prometheus text metrics")
+		fmt.Fprintln(w, "  GET  /debug/vars   expvar-style JSON variables")
+		fmt.Fprintln(w, "  GET  /debug/trace  serve-layer span summary")
+	})
+	return mux
+}
+
+// maxBodyBytes bounds an evaluate request body.
+const maxBodyBytes = 16 << 20
+
+// errorReply is the JSON error body.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorReply{"POST only"})
+		return
+	}
+	var req EvaluateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorReply{fmt.Sprintf("decode: %v", err)})
+		return
+	}
+	tenant := r.Header.Get("X-Beagle-Tenant")
+	if tenant == "" {
+		tenant = req.Tenant
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+	if ok, retry := s.quota.Allow(tenant, time.Now()); !ok {
+		s.rejectQuota.Add(1)
+		secs := int(retry/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, errorReply{fmt.Sprintf("tenant %q over quota", tenant)})
+		return
+	}
+	resp, code, err := s.Evaluate(r.Context(), &req)
+	if err != nil {
+		writeJSON(w, code, errorReply{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Evaluate runs one request through compilation, admission and the pool (or
+// the per-request ablation path), returning the response or an HTTP status
+// and error. Exported so in-process clients (benchmarks, tests) can bypass
+// HTTP.
+func (s *Server) Evaluate(ctx context.Context, req *EvaluateRequest) (*EvaluateResponse, int, error) {
+	c, err := s.compile(req)
+	if err != nil {
+		s.badRequests.Add(1)
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	if s.opts.DisablePool {
+		resp, err := s.evaluateDirect(c)
+		if err != nil {
+			s.evalErrors.Add(1)
+			return nil, http.StatusInternalServerError, err
+		}
+		return resp, http.StatusOK, nil
+	}
+
+	j := &job{c: c, enq: time.Now(), done: make(chan struct{})}
+	hit := false
+	submitted := false
+	// An evicted calculator rejects new jobs while draining; re-resolving
+	// the key builds a fresh one, so one retry suffices.
+	for attempt := 0; attempt < 2; attempt++ {
+		calc, wasHit := s.pool.Get(c.key)
+		err = calc.submit(j)
+		if err == nil {
+			hit = wasHit
+			submitted = true
+			break
+		}
+		if errors.Is(err, errQueueFull) {
+			s.rejectQueue.Add(1)
+			return nil, http.StatusTooManyRequests, fmt.Errorf("serve: overloaded (queue full for %s)", c.key)
+		}
+	}
+	if !submitted {
+		s.evalErrors.Add(1)
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("serve: calculator unavailable for %s", c.key)
+	}
+
+	timeout := time.NewTimer(s.opts.RequestTimeout)
+	defer timeout.Stop()
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		// The batch may still execute; the response is simply dropped.
+		return nil, statusClientClosed, ctx.Err()
+	case <-timeout.C:
+		s.evalErrors.Add(1)
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("serve: request timed out after %v", s.opts.RequestTimeout)
+	}
+	if j.err != nil {
+		s.evalErrors.Add(1)
+		return nil, http.StatusInternalServerError, j.err
+	}
+	j.resp.Pool.Hit = hit
+	return j.resp, http.StatusOK, nil
+}
+
+// statusClientClosed is nginx's 499, the conventional "client closed
+// request" status.
+const statusClientClosed = 499
+
+// evaluateDirect is the one-instance-per-request path: build, load,
+// evaluate, finalize. This is both the ablation baseline for the serve
+// benchmark and the fallback mode for debugging pooled execution.
+func (s *Server) evaluateDirect(c *compiled) (*EvaluateResponse, error) {
+	flags := s.opts.Flags
+	if c.key.Single {
+		flags |= gobeagle.FlagPrecisionSingle
+	}
+	nodes := 2*c.tips - 1
+	inst, err := gobeagle.NewInstance(gobeagle.Config{
+		TipCount:        c.tips,
+		PartialsBuffers: nodes,
+		MatrixBuffers:   nodes + derivSlots,
+		EigenBuffers:    1,
+		StateCount:      c.key.States,
+		PatternCount:    c.patterns,
+		CategoryCount:   c.key.Categories,
+		ResourceID:      0,
+		Flags:           flags,
+		Threads:         s.opts.Threads,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer inst.Finalize()
+	return evaluateOn(inst, c, nodes)
+}
+
+// evaluateOn drives one compiled request on a dedicated instance laid out
+// with tree-native buffer indices — the reference execution pooled serving
+// must match bit-for-bit.
+func evaluateOn(inst *gobeagle.Instance, c *compiled, nodes int) (*EvaluateResponse, error) {
+	for tip := 0; tip < c.tips; tip++ {
+		if err := inst.SetTipStates(tip, c.tipStates[tip]); err != nil {
+			return nil, err
+		}
+	}
+	steps := []error{
+		inst.SetEigenDecomposition(0, c.eigen.Values, c.eigen.Vectors.Data, c.eigen.InverseVectors.Data),
+		inst.SetCategoryRates(c.rates),
+		inst.SetCategoryWeights(c.catWeights),
+		inst.SetStateFrequencies(c.freqs),
+		inst.SetPatternWeights(c.weights),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, err
+		}
+	}
+	mats := make([]int, len(c.sched.Matrices))
+	lens := make([]float64, len(c.sched.Matrices))
+	for i, mu := range c.sched.Matrices {
+		mats[i], lens[i] = mu.Matrix, mu.Length
+	}
+	if err := inst.UpdateTransitionMatrices(0, mats, lens); err != nil {
+		return nil, err
+	}
+	ops := make([]gobeagle.Operation, len(c.sched.Ops))
+	for i, op := range c.sched.Ops {
+		ops[i] = gobeagle.Operation{
+			Destination: op.Dest, DestScaleWrite: gobeagle.None, DestScaleRead: gobeagle.None,
+			Child1: op.Child1, Child1Matrix: op.Child1Mat,
+			Child2: op.Child2, Child2Matrix: op.Child2Mat,
+		}
+	}
+	if err := inst.UpdatePartials(ops); err != nil {
+		return nil, err
+	}
+	lnL, err := inst.CalculateRootLogLikelihoods(c.sched.Root, gobeagle.None)
+	if err != nil {
+		return nil, err
+	}
+	resp := &EvaluateResponse{
+		LogLikelihood: lnL,
+		Tips:          c.tips, Sites: c.sites, Patterns: c.patterns,
+		Pool: PoolInfo{Key: c.key.String(), Batched: 1},
+	}
+	if c.wantSite {
+		perPattern, err := inst.SiteLogLikelihoods(c.sched.Root, gobeagle.None)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, c.sites)
+		for site, p := range c.siteOf {
+			out[site] = perPattern[p]
+		}
+		resp.SiteLogLikelihoods = out
+	}
+	if c.wantDeriv {
+		d1m, d2m, sum := nodes, nodes+1, nodes+2
+		if err := inst.UpdateTransitionMatrices(0, []int{sum}, []float64{c.rootLen}); err != nil {
+			return nil, err
+		}
+		if err := inst.UpdateTransitionDerivatives(0, []int{d1m}, []int{d2m}, []float64{c.rootLen}); err != nil {
+			return nil, err
+		}
+		_, d1, d2, err := inst.CalculateEdgeDerivatives(c.rootLeft, c.rootRight, sum, d1m, d2m, gobeagle.None)
+		if err != nil {
+			return nil, err
+		}
+		resp.D1, resp.D2, resp.RootBranch = d1, d2, c.rootLen
+	}
+	return resp, nil
+}
+
+// eigenFor serves an eigendecomposition from the content-addressed model
+// cache, decomposing on miss. The cache is bounded; a full cache drops all
+// entries (decompositions are cheap enough to rebuild, and steady-state
+// serving uses a handful of models).
+const maxEigenCache = 256
+
+func (s *Server) eigenFor(hash string, model *substmodel.Model) (*linalg.EigenDecomposition, error) {
+	s.eigenMu.Lock()
+	if ed, ok := s.eigenCache[hash]; ok {
+		s.eigenMu.Unlock()
+		s.eigenHits.Add(1)
+		return ed, nil
+	}
+	s.eigenMu.Unlock()
+	s.eigenMisses.Add(1)
+	ed, err := model.Eigen()
+	if err != nil {
+		return nil, err
+	}
+	s.eigenMu.Lock()
+	if len(s.eigenCache) >= maxEigenCache {
+		s.eigenCache = map[string]*linalg.EigenDecomposition{}
+	}
+	s.eigenCache[hash] = ed
+	s.eigenMu.Unlock()
+	return ed, nil
+}
+
+// healthReply is the GET /v1/health body.
+type healthReply struct {
+	Status   string    `json:"status"`
+	UptimeS  float64   `json:"uptime_s"`
+	Inflight int64     `json:"inflight"`
+	Pool     PoolStats `json:"pool"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthReply{
+		Status:   "ok",
+		UptimeS:  time.Since(s.start).Seconds(),
+		Inflight: s.inflight.Load(),
+		Pool:     s.pool.Stats(),
+	})
+}
+
+// ListenAndServe binds addr, optionally reports the bound address through
+// ready, and serves until the context is cancelled, then drains in-flight
+// requests and finalizes the pool.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	srv := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err = srv.Shutdown(shutCtx)
+		<-errc
+	case err = <-errc:
+	}
+	s.Close()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,67 @@
+package serve
+
+// SlotAllocator hands out slot ids within a warm calculator instance,
+// following the OnlineCalculator pattern from sts: freed ids are recycled
+// LIFO before fresh ids are minted, and when the id space is exhausted the
+// caller grows it by the golden ratio. Each id names one contiguous region
+// of the shared instance's partials, matrix and eigen buffer spaces.
+//
+// The allocator is plain data; the owning calculator serializes access.
+type SlotAllocator struct {
+	capacity int
+	next     int
+	free     []int // LIFO stack of recycled ids
+}
+
+// GoldenRatio is the growth factor applied when the slot space is exhausted,
+// as the sts exemplar grows its partials-buffer space.
+const GoldenRatio = 1.61803398875
+
+// NewSlotAllocator returns an allocator over ids [0, capacity).
+func NewSlotAllocator(capacity int) *SlotAllocator {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlotAllocator{capacity: capacity}
+}
+
+// Capacity returns the current id-space size.
+func (a *SlotAllocator) Capacity() int { return a.capacity }
+
+// InUse returns the number of ids currently handed out.
+func (a *SlotAllocator) InUse() int { return a.next - len(a.free) }
+
+// Get returns a slot id, preferring the most recently freed id (LIFO — the
+// warmest buffers), or -1 when the id space is exhausted; the caller then
+// either waits for a Free or Grows the allocator.
+func (a *SlotAllocator) Get() int {
+	if n := len(a.free); n > 0 {
+		id := a.free[n-1]
+		a.free = a.free[:n-1]
+		return id
+	}
+	if a.next == a.capacity {
+		return -1
+	}
+	id := a.next
+	a.next++
+	return id
+}
+
+// Free returns an id to the recycle stack. Freeing an id that was never
+// handed out corrupts the allocator; callers own that invariant.
+func (a *SlotAllocator) Free(id int) {
+	a.free = append(a.free, id)
+}
+
+// Grow expands the id space by the golden ratio (at least one id) and
+// returns the new capacity. The caller rebuilds the backing instance to
+// match before handing out the new ids.
+func (a *SlotAllocator) Grow() int {
+	grown := int(float64(a.capacity) * GoldenRatio)
+	if grown <= a.capacity {
+		grown = a.capacity + 1
+	}
+	a.capacity = grown
+	return a.capacity
+}

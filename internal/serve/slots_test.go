@@ -1,0 +1,55 @@
+package serve
+
+import "testing"
+
+// TestSlotRecyclingLIFO verifies the sts OnlineCalculator recycling contract:
+// freed ids are reused before new ids are minted, in last-in-first-out order.
+func TestSlotRecyclingLIFO(t *testing.T) {
+	a := NewSlotAllocator(4)
+	ids := make([]int, 4)
+	for i := range ids {
+		ids[i] = a.Get()
+		if ids[i] != i {
+			t.Fatalf("Get() = %d, want %d (fresh ids mint in order)", ids[i], i)
+		}
+	}
+	if got := a.Get(); got != -1 {
+		t.Fatalf("Get() beyond capacity = %d, want -1", got)
+	}
+	a.Free(1)
+	a.Free(3)
+	if got := a.Get(); got != 3 {
+		t.Fatalf("Get() after Free(1),Free(3) = %d, want 3 (LIFO)", got)
+	}
+	if got := a.Get(); got != 1 {
+		t.Fatalf("second Get() = %d, want 1", got)
+	}
+	if got := a.Get(); got != -1 {
+		t.Fatalf("Get() with all slots live = %d, want -1", got)
+	}
+	if a.InUse() != 4 {
+		t.Fatalf("InUse() = %d, want 4", a.InUse())
+	}
+}
+
+// TestSlotGoldenRatioGrowth verifies growth multiplies capacity by the golden
+// ratio (floor), with a minimum step of one.
+func TestSlotGoldenRatioGrowth(t *testing.T) {
+	a := NewSlotAllocator(1)
+	want := []int{1, 2, 3, 4, 6, 9, 14, 22, 35, 56}
+	for i, w := range want {
+		if a.Capacity() != w {
+			t.Fatalf("capacity after %d grows = %d, want %d", i, a.Capacity(), w)
+		}
+		a.Grow()
+	}
+	// Growth never invalidates live ids: mint everything, grow, and the new
+	// range extends past the old.
+	b := NewSlotAllocator(2)
+	id0, id1 := b.Get(), b.Get()
+	b.Grow()
+	id2 := b.Get()
+	if id0 != 0 || id1 != 1 || id2 != 2 {
+		t.Fatalf("ids across growth = %d,%d,%d, want 0,1,2", id0, id1, id2)
+	}
+}

@@ -66,6 +66,13 @@ const (
 	KindMatrices
 	// KindDerivatives is one derivative-matrix update batch (Arg0 = matrices).
 	KindDerivatives
+	// KindServeBatch is one micro-batch executed by the serving layer's
+	// warm-instance calculator (Arg0 = requests coalesced, Arg1 = slots in
+	// use after the batch).
+	KindServeBatch
+	// KindServeWait is the queueing delay of one served request from
+	// admission to the start of its batch (Lane = slot index).
+	KindServeWait
 	numKinds
 )
 
@@ -96,6 +103,10 @@ func (k Kind) String() string {
 		return "transition matrices"
 	case KindDerivatives:
 		return "derivative matrices"
+	case KindServeBatch:
+		return "serve batch"
+	case KindServeWait:
+		return "serve wait"
 	default:
 		return "unknown"
 	}
@@ -111,6 +122,7 @@ const (
 	LayerDevice
 	LayerMulti
 	LayerStorage
+	LayerServe
 	numLayers
 )
 
@@ -128,6 +140,8 @@ func (l Layer) String() string {
 		return "multi-device"
 	case LayerStorage:
 		return "storage"
+	case LayerServe:
+		return "serve"
 	default:
 		return "unknown"
 	}
@@ -144,6 +158,8 @@ func (k Kind) Layer() Layer {
 		return LayerDevice
 	case KindBarrier, KindBackend, KindRebalance, KindMigrate:
 		return LayerMulti
+	case KindServeBatch, KindServeWait:
+		return LayerServe
 	default:
 		return LayerStorage
 	}

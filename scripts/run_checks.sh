@@ -63,5 +63,11 @@ go -C "$ROOT" run ./cmd/genomictest -taxa 8 -patterns 200 -reps 1 -threading hyb
 go -C "$ROOT" run ./cmd/beagletrace -require-layers "scheduler,storage" "$trace_tmp" >/dev/null
 rm -f "$trace_tmp"
 
+# Serving-layer smoke: beagled boots in-process, serves a request through the
+# warm pool (cold and warm) and over HTTP, and every served log likelihood
+# must be bit-identical to dedicated-instance evaluation.
+section "beagled -selfcheck"
+go -C "$ROOT" run ./cmd/beagled -selfcheck
+
 SECTION="done"
 echo "all checks passed"
