@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -97,8 +98,15 @@ func main() {
 	} else {
 		fmt.Printf("beagleload: %d requests in %v (%.1f req/s), %d errors\n",
 			rep.Requests, rep.Elapsed.Round(time.Millisecond), rep.RPS, rep.Errors)
-		for code, n := range rep.Codes {
-			fmt.Printf("  HTTP %d: %d\n", code, n)
+		// Report status codes in ascending order; map order would make
+		// successive runs print the histogram differently.
+		codes := make([]int, 0, len(rep.Codes))
+		for code := range rep.Codes {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			fmt.Printf("  HTTP %d: %d\n", code, rep.Codes[code])
 		}
 		fmt.Printf("  latency p50 %v  p95 %v  p99 %v  mean %v  max %v\n",
 			rep.P50.Round(time.Microsecond), rep.P95.Round(time.Microsecond),

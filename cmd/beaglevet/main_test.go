@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runCapture invokes run with stdout redirected to a temp file and returns
+// the exit code and captured output.
+func runCapture(t *testing.T, args []string) (int, []byte) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, out, os.Stderr)
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, raw
+}
+
+// TestJSONOutput pins the -json contract: stdout is one JSON array of
+// diagnostics (empty array on a clean run, records sorted by position on a
+// dirty one) and the exit code matches the text mode.
+func TestJSONOutput(t *testing.T) {
+	mod := t.TempDir()
+	writeFile := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(mod, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module jsontest\n\ngo 1.22\n")
+	writeFile("clean.go", "package jsontest\n\nfunc Add(a, b int) int { return a + b }\n")
+
+	code, raw := runCapture(t, []string{"-stock=false", "-json", "-C", mod, "./..."})
+	if code != 0 {
+		t.Fatalf("clean module: exit %d, output %s", code, raw)
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal(raw, &diags); err != nil {
+		t.Fatalf("clean module output is not JSON: %v\n%s", err, raw)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("clean module reported %d diagnostics: %s", len(diags), raw)
+	}
+
+	writeFile("dirty.go", `package jsontest
+
+import "fmt"
+
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`)
+	code, raw = runCapture(t, []string{"-stock=false", "-json", "-C", mod, "./..."})
+	if code != 1 {
+		t.Fatalf("dirty module: exit %d, want 1; output %s", code, raw)
+	}
+	if err := json.Unmarshal(raw, &diags); err != nil {
+		t.Fatalf("dirty module output is not JSON: %v\n%s", err, raw)
+	}
+	if len(diags) == 0 {
+		t.Fatalf("dirty module reported no diagnostics")
+	}
+	d := diags[0]
+	if d["file"] != "dirty.go" || d["analyzer"] != "mapdeterminism" {
+		t.Fatalf("unexpected first diagnostic: %v", d)
+	}
+	for _, key := range []string{"file", "line", "column", "analyzer", "message"} {
+		if _, ok := d[key]; !ok {
+			t.Fatalf("diagnostic missing %q: %v", key, d)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
 
 	"gobeagle"
 	"gobeagle/internal/mcmc"
@@ -109,7 +110,14 @@ func main() {
 	if trueSplits, err := truth.Splits(); err == nil && res.SplitSupport != nil {
 		fmt.Printf("posterior support of the generating tree's splits (%d samples):\n",
 			res.SplitSampleCount)
+		// Print in sorted split order: map iteration would shuffle the
+		// report between runs of the same seeded analysis.
+		splits := make([]string, 0, len(trueSplits))
 		for s := range trueSplits {
+			splits = append(splits, s)
+		}
+		sort.Strings(splits)
+		for _, s := range splits {
 			fmt.Printf("  {%s}: %.0f%%\n", s, 100*res.SplitSupport[s])
 		}
 	}

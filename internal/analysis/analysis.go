@@ -85,7 +85,10 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	return pass.diagnostics, nil
 }
 
-// All returns the repo-specific analyzer suite in presentation order.
+// All returns the repo-specific analyzer suite in presentation order: the
+// intraprocedural hot-path contracts first (PR 3), then the interprocedural
+// concurrency, determinism and lifecycle analyzers built on the shared call
+// graph (see callgraph.go).
 func All() []*Analyzer {
 	return []*Analyzer{
 		NoAlloc,
@@ -93,6 +96,11 @@ func All() []*Analyzer {
 		FlagExcl,
 		HazardCapture,
 		AllocGuard,
+		LockOrder,
+		AtomicMix,
+		GoroLeak,
+		MapDeterminism,
+		CtxHTTP,
 	}
 }
 

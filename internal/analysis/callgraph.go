@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the package-level interprocedural layer shared by the
+// analyzers that reason across function boundaries (nopanic, lockorder,
+// goroleak, ctxhttp). It maps every function and method declared in the
+// package to its syntax and records the static reference graph between
+// them: an edge f -> g exists when f's body mentions g at all, so function
+// values handed to sort.Slice, pool dispatchers or goroutines count as
+// calls. That over-approximation is deliberate — the suite's contracts
+// (no reachable panic, acyclic lock order, joined goroutines) must hold on
+// every path the runtime could take, including indirect ones.
+type CallGraph struct {
+	// Decls maps each function object declared in the package to its
+	// declaration. Bodiless declarations (assembly stubs) map to a decl
+	// with a nil Body.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Edges is the static same-package reference graph described above.
+	Edges map[*types.Func][]*types.Func
+
+	pass *Pass
+}
+
+// NewCallGraph builds the call graph for the pass's package.
+func NewCallGraph(pass *Pass) *CallGraph {
+	info := pass.TypesInfo
+	g := &CallGraph{
+		Decls: map[*types.Func]*ast.FuncDecl{},
+		Edges: map[*types.Func][]*types.Func{},
+		pass:  pass,
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+					g.Decls[obj] = fd
+				}
+			}
+		}
+	}
+	for obj, fd := range g.Decls {
+		if fd.Body == nil {
+			continue
+		}
+		from := obj
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if to, ok := info.Uses[id].(*types.Func); ok {
+				if _, local := g.Decls[to]; local && to != from {
+					g.Edges[from] = append(g.Edges[from], to)
+				}
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// Functions returns the declared functions sorted by source position, so
+// analyzers iterating the graph report in deterministic order (the suite
+// must satisfy its own mapdeterminism check).
+func (g *CallGraph) Functions() []*types.Func {
+	out := make([]*types.Func, 0, len(g.Decls))
+	for fn := range g.Decls {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// EntryPoints returns the functions the outside world can run directly:
+// exported functions and methods, plus anything referenced from a
+// package-level variable initializer (which executes unconditionally at
+// import time). The result is sorted by name so analyzer output is stable.
+func (g *CallGraph) EntryPoints() []*types.Func {
+	seen := map[*types.Func]bool{}
+	for obj := range g.Decls {
+		if obj.Exported() {
+			seen[obj] = true
+		}
+	}
+	info := g.pass.TypesInfo
+	for _, f := range g.pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if to, ok := info.Uses[id].(*types.Func); ok {
+					if _, local := g.Decls[to]; local {
+						seen[to] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	out := make([]*types.Func, 0, len(seen))
+	for fn := range seen {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}
+
+// Reachable returns the set of package functions reachable from roots by
+// following Edges, including the roots themselves.
+func (g *CallGraph) Reachable(roots ...*types.Func) map[*types.Func]bool {
+	reachable := map[*types.Func]bool{}
+	var mark func(fn *types.Func)
+	mark = func(fn *types.Func) {
+		if reachable[fn] {
+			return
+		}
+		reachable[fn] = true
+		for _, to := range g.Edges[fn] {
+			mark(to)
+		}
+	}
+	for _, fn := range roots {
+		mark(fn)
+	}
+	return reachable
+}
+
+// sortedFuncs orders a function set by source position for deterministic
+// reporting.
+func sortedFuncs(set map[*types.Func]bool) []*types.Func {
+	out := make([]*types.Func, 0, len(set))
+	for fn := range set {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// Fixpoint propagates a per-function fact set bottom-up over the call
+// graph until it stabilizes: each function's set grows to include every
+// callee's set. seed maps functions to their locally-established facts and
+// is extended in place; the extended map is returned for convenience. It
+// is the workhorse behind transitive summaries ("which locks can f end up
+// holding", "which channels can f close").
+func Fixpoint[T comparable](g *CallGraph, seed map[*types.Func]map[T]bool) map[*types.Func]map[T]bool {
+	for changed := true; changed; {
+		changed = false
+		for fn := range g.Decls {
+			for _, callee := range g.Edges[fn] {
+				for fact := range seed[callee] {
+					if seed[fn] == nil {
+						seed[fn] = map[T]bool{}
+					}
+					if !seed[fn][fact] {
+						seed[fn][fact] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return seed
+}

@@ -1,0 +1,413 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// CtxHTTP checks the serve-layer handler contract. The daemon's HTTP
+// surface is the one place where an internal mistake becomes an external
+// protocol violation: a panic kills every in-flight request, a second
+// WriteHeader is dropped by net/http with only a log line, and a body
+// written after an error status corrupts the error reply the client parses.
+// Handlers are detected structurally — a function whose first parameter is
+// an interface with a WriteHeader(int) method and whose second is a
+// pointer to a Request struct — so the check covers http.HandlerFunc
+// declarations and mux closures alike without importing net/http here.
+//
+// Three rules are enforced on every handler:
+//
+//   - no panic may be lexically inside or reachable through same-package
+//     calls from the handler body;
+//   - along any sequential path, the response status is written at most
+//     once (WriteHeader, http.Error/NotFound/Redirect, or a local helper
+//     that transitively writes the status);
+//   - after a status known to be an error (a constant >= 400 anywhere in
+//     the writing call), the handler must not write body bytes.
+//
+// Waive with //beagle:allow ctxhttp <reason>.
+var CtxHTTP = &Analyzer{
+	Name: "ctxhttp",
+	Doc:  "HTTP handlers: no panic, status written at most once, no body after an error status",
+	Run:  runCtxHTTP,
+}
+
+// isHandlerSig reports whether ft is a handler signature as described above.
+func isHandlerSig(ft *types.Signature) bool {
+	if ft.Params().Len() != 2 {
+		return false
+	}
+	iface, ok := ft.Params().At(0).Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	hasWriteHeader := false
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		if m.Name() != "WriteHeader" {
+			continue
+		}
+		sig := m.Type().(*types.Signature)
+		if sig.Params().Len() == 1 {
+			if b, ok := sig.Params().At(0).Type().(*types.Basic); ok && b.Kind() == types.Int {
+				hasWriteHeader = true
+			}
+		}
+	}
+	if !hasWriteHeader {
+		return false
+	}
+	ptr, ok := types.Unalias(ft.Params().At(1).Type()).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Request"
+}
+
+// httpStatus classifies a call's effect on the response status line.
+type httpStatus int
+
+const (
+	statusNone  httpStatus = iota
+	statusOK               // writes a status, not provably an error
+	statusError            // writes a status with a constant >= 400
+)
+
+func runCtxHTTP(pass *Pass) error {
+	info := pass.TypesInfo
+	cg := NewCallGraph(pass)
+
+	// statusWriters: local functions that (transitively) write the response
+	// status. Seeded with direct WriteHeader / http.Error-family callers and
+	// closed over the call graph.
+	seed := map[*types.Func]map[string]bool{}
+	for fn, fd := range cg.Decls {
+		if fd.Body == nil {
+			continue
+		}
+		direct := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if cls := directStatusCall(info, call); cls != statusNone {
+					direct = true
+				}
+			}
+			return true
+		})
+		if direct {
+			seed[fn] = map[string]bool{"status": true}
+		}
+	}
+	Fixpoint(cg, seed)
+	writesStatus := func(fn *types.Func) bool { return seed[fn]["status"] }
+
+	// classify returns what a call does to the status line: a direct write,
+	// or a call into a local status-writing helper. Error-ness is decided by
+	// any constant argument >= 400 (http.StatusBadRequest and up), plus the
+	// always-error http helpers.
+	classify := func(call *ast.CallExpr) httpStatus {
+		if cls := directStatusCall(info, call); cls != statusNone {
+			if cls == statusOK && hasErrorConstArg(info, call) {
+				return statusError
+			}
+			return cls
+		}
+		if callee := calleeFunc(info, call); callee != nil && writesStatus(callee) {
+			if hasErrorConstArg(info, call) {
+				return statusError
+			}
+			return statusOK
+		}
+		return statusNone
+	}
+
+	// Enumerate handlers: declarations and literals with the handler shape.
+	for _, f := range pass.Files {
+		allows := fileAllowances(pass.Fset, f)
+		report := func(pos token.Pos, format string, args ...any) {
+			line := pass.Fset.Position(pos).Line
+			waived, hasReason := allowedAt(allows, "ctxhttp", line)
+			switch {
+			case !waived:
+				pass.Reportf(pos, format, args...)
+			case !hasReason:
+				pass.Reportf(pos, "%s ctxhttp waiver needs a reason", AllowDirective)
+			}
+		}
+		check := func(name string, pos token.Pos, body *ast.BlockStmt, w *types.Var) {
+			checkHandlerPanics(pass, cg, name, pos, body, report)
+			st := handlerState{pass: pass, info: info, classify: classify, w: w, report: report}
+			st.block(body, pathState{})
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+				obj, _ := info.Defs[n.Name].(*types.Func)
+				if obj == nil {
+					return true
+				}
+				sig := obj.Type().(*types.Signature)
+				if isHandlerSig(sig) {
+					check(n.Name.Name, n.Pos(), n.Body, sig.Params().At(0))
+				}
+			case *ast.FuncLit:
+				sig, ok := info.TypeOf(n).(*types.Signature)
+				if ok && isHandlerSig(sig) {
+					check("handler literal", n.Pos(), n.Body, sig.Params().At(0))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// directStatusCall classifies calls that write the status themselves:
+// anything.WriteHeader(code), and net/http's Error, NotFound and Redirect.
+func directStatusCall(info *types.Info, call *ast.CallExpr) httpStatus {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return statusNone
+	}
+	if sel.Sel.Name == "WriteHeader" && len(call.Args) == 1 {
+		return statusOK
+	}
+	if pkgID, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := info.Uses[pkgID].(*types.PkgName); ok && pn.Imported().Path() == "net/http" {
+			switch sel.Sel.Name {
+			case "Error", "NotFound":
+				return statusError
+			case "Redirect", "ServeFile", "ServeContent":
+				return statusOK
+			}
+		}
+	}
+	return statusNone
+}
+
+// hasErrorConstArg reports whether any argument is an integer constant in
+// the 4xx/5xx range.
+func hasErrorConstArg(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+			if v, exact := constant.Int64Val(tv.Value); exact && v >= 400 && v < 600 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkHandlerPanics reports panics lexically inside the handler or
+// reachable from it through same-package calls.
+func checkHandlerPanics(pass *Pass, cg *CallGraph, name string, hpos token.Pos, body *ast.BlockStmt,
+	report func(token.Pos, string, ...any)) {
+	info := pass.TypesInfo
+	// Direct panics report at the panic site; reachable ones at the handler.
+	var callees []*types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					report(n.Pos(), "handler %s panics; a panic tears down every in-flight request — return an error status or waive with %s ctxhttp <reason>", name, AllowDirective)
+					return true
+				}
+			}
+		case *ast.Ident:
+			if fn, ok := info.Uses[n].(*types.Func); ok {
+				if _, local := cg.Decls[fn]; local {
+					callees = append(callees, fn)
+				}
+			}
+		}
+		return true
+	})
+	for _, fn := range sortedFuncs(cg.Reachable(callees...)) {
+		fd := cg.Decls[fn]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					report(hpos, "handler %s can reach a panic in %s; a panic tears down every in-flight request — return an error status or waive with %s ctxhttp <reason>", name, fn.Name(), AllowDirective)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// pathState is the abstract response state along one sequential path.
+type pathState struct {
+	wrote    bool // status line written
+	errState bool // ... with a constant error code
+	returned bool // path ended
+}
+
+// handlerState walks a handler body tracking pathState per sequential path.
+type handlerState struct {
+	pass     *Pass
+	info     *types.Info
+	classify func(*ast.CallExpr) httpStatus
+	w        *types.Var // the handler's ResponseWriter parameter
+	report   func(token.Pos, string, ...any)
+}
+
+// block analyzes a statement block starting from st and returns the state
+// at its end.
+func (h *handlerState) block(b *ast.BlockStmt, st pathState) pathState {
+	if b == nil {
+		return st
+	}
+	return h.stmts(b.List, st)
+}
+
+func (h *handlerState) stmts(list []ast.Stmt, st pathState) pathState {
+	for _, s := range list {
+		st = h.stmt(s, st)
+		if st.returned {
+			break
+		}
+	}
+	return st
+}
+
+func (h *handlerState) stmt(s ast.Stmt, st pathState) pathState {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		st.returned = true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			st = h.call(call, st)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				st = h.call(call, st)
+			}
+		}
+	case *ast.IfStmt:
+		thenSt := h.block(s.Body, st)
+		elseSt := st
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseSt = h.block(e, st)
+		case *ast.IfStmt:
+			elseSt = h.stmt(e, st)
+		}
+		st = mergePaths(thenSt, elseSt)
+	case *ast.BlockStmt:
+		st = h.block(s, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var bodies []*ast.BlockStmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			bodies = clauseBodies(sw.Body)
+		case *ast.TypeSwitchStmt:
+			bodies = clauseBodies(sw.Body)
+		case *ast.SelectStmt:
+			bodies = clauseBodies(sw.Body)
+		}
+		merged := st
+		for _, b := range bodies {
+			merged = mergePaths(merged, h.block(b, st))
+		}
+		st = merged
+		st.returned = false
+	case *ast.ForStmt:
+		st = mergePaths(st, h.block(s.Body, st))
+		st.returned = false
+	case *ast.RangeStmt:
+		st = mergePaths(st, h.block(s.Body, st))
+		st.returned = false
+	}
+	return st
+}
+
+// call folds one call into the path state, reporting contract violations.
+func (h *handlerState) call(call *ast.CallExpr, st pathState) pathState {
+	switch h.classify(call) {
+	case statusOK, statusError:
+		if st.wrote {
+			h.report(call.Pos(), "response status is written a second time on this path (net/http drops it with a log line); write it exactly once or waive with %s ctxhttp <reason>", AllowDirective)
+		}
+		st.wrote = true
+		if h.classify(call) == statusError {
+			st.errState = true
+		}
+		return st
+	}
+	if st.errState && h.isBodyWrite(call) {
+		h.report(call.Pos(), "body bytes are written after an error status on this path, corrupting the error reply; return after writing the error or waive with %s ctxhttp <reason>", AllowDirective)
+	}
+	return st
+}
+
+// isBodyWrite recognizes writes of body bytes through the handler's
+// ResponseWriter: w.Write/WriteString, or fmt.Fprint* with w as the
+// destination.
+func (h *handlerState) isBodyWrite(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	usesW := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		v, _ := h.info.Uses[id].(*types.Var)
+		return v == h.w
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString":
+		return usesW(sel.X)
+	case "Fprint", "Fprintf", "Fprintln":
+		if pkgID, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if pn, ok := h.info.Uses[pkgID].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				return len(call.Args) > 0 && usesW(call.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+// mergePaths joins two path states conservatively: a violation on either
+// path is real, so "wrote"/"errState" are OR'd over paths that continue.
+func mergePaths(a, b pathState) pathState {
+	switch {
+	case a.returned && b.returned:
+		return pathState{returned: true}
+	case a.returned:
+		return b
+	case b.returned:
+		return a
+	}
+	return pathState{wrote: a.wrote || b.wrote, errState: a.errState || b.errState}
+}
+
+func clauseBodies(b *ast.BlockStmt) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	for _, s := range b.List {
+		switch c := s.(type) {
+		case *ast.CaseClause:
+			out = append(out, &ast.BlockStmt{List: c.Body})
+		case *ast.CommClause:
+			out = append(out, &ast.BlockStmt{List: c.Body})
+		}
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak enforces joined goroutine lifecycles: every goroutine the package
+// launches must publish a completion signal — closing a channel, sending on
+// one, or calling WaitGroup.Done — and some function in the package must
+// await that signal (receive, range, or Wait). PR 7 shipped exactly the bug
+// this catches: DebugServer spawned its accept loop with a done channel that
+// Close never received from, so "Close returned" did not mean "goroutine
+// exited", and tests raced instance finalization against a live server.
+//
+// The analyzer resolves each go statement's body (function literal, a
+// same-package method value like go c.run(), and function-literal arguments
+// such as the closure handed to pprof.Do), scans it — transitively through
+// same-package calls if need be — for completion signals, and then searches
+// the rest of the package for a matching join. A goroutine with no signal at
+// all, or whose signal no one awaits, is reported at the go statement. Waive
+// with //beagle:allow goroleak <reason> for genuinely detached goroutines.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every spawned goroutine must signal completion and be joined",
+	Run:  runGoroLeak,
+}
+
+// goroSignal is one completion signal a goroutine body performs.
+type goroSignal struct {
+	v    *types.Var // the channel or WaitGroup variable
+	kind string     // "close", "send" or "Done"
+}
+
+func runGoroLeak(pass *Pass) error {
+	info := pass.TypesInfo
+	cg := NewCallGraph(pass)
+
+	terminalVar := func(e ast.Expr) *types.Var {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[e].(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			v, _ := info.Uses[e.Sel].(*types.Var)
+			return v
+		}
+		return nil
+	}
+	isChanVar := func(v *types.Var) bool {
+		_, ok := v.Type().Underlying().(*types.Chan)
+		return ok
+	}
+	isWaitGroupVar := func(v *types.Var) bool {
+		t := derefType(v.Type())
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+	}
+
+	// collectSignals scans goroutine bodies for completion signals.
+	collectSignals := func(bodies []ast.Node) []goroSignal {
+		var sigs []goroSignal
+		for _, b := range bodies {
+			ast.Inspect(b, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					if v := terminalVar(n.Chan); v != nil && isChanVar(v) {
+						sigs = append(sigs, goroSignal{v: v, kind: "send"})
+					}
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+						if bi, ok := info.Uses[id].(*types.Builtin); ok && bi.Name() == "close" && len(n.Args) == 1 {
+							if v := terminalVar(n.Args[0]); v != nil && isChanVar(v) {
+								sigs = append(sigs, goroSignal{v: v, kind: "close"})
+							}
+						}
+					}
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+						if v := terminalVar(sel.X); v != nil && isWaitGroupVar(v) {
+							sigs = append(sigs, goroSignal{v: v, kind: "Done"})
+						}
+					}
+				}
+				return true
+			})
+		}
+		return sigs
+	}
+
+	// localFuncsIn returns the same-package functions a body references.
+	localFuncsIn := func(bodies []ast.Node) []*types.Func {
+		var out []*types.Func
+		for _, b := range bodies {
+			ast.Inspect(b, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if fn, ok := info.Uses[id].(*types.Func); ok {
+						if _, local := cg.Decls[fn]; local {
+							out = append(out, fn)
+						}
+					}
+				}
+				return true
+			})
+		}
+		return out
+	}
+
+	inBodies := func(pos token.Pos, bodies []ast.Node) bool {
+		for _, b := range bodies {
+			if b.Pos() <= pos && pos <= b.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// joined reports whether any function in the package awaits the signal
+	// variable — a receive, a range, or a Wait call — outside the goroutine
+	// bodies themselves.
+	joined := func(sig goroSignal, exclude []ast.Node) bool {
+		found := false
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW && terminalVar(n.X) == sig.v && !inBodies(n.Pos(), exclude) {
+						found = true
+					}
+				case *ast.RangeStmt:
+					if v := terminalVar(n.X); v == sig.v && !inBodies(n.Pos(), exclude) {
+						found = true
+					}
+				case *ast.CallExpr:
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+						if terminalVar(sel.X) == sig.v && !inBodies(n.Pos(), exclude) {
+							found = true
+						}
+					}
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, f := range pass.Files {
+		allows := fileAllowances(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			call := gs.Call
+
+			// The code the goroutine runs: a literal body, a same-package
+			// callee's body, and literal arguments (the pprof.Do pattern).
+			var bodies []ast.Node
+			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				bodies = append(bodies, lit.Body)
+			} else if callee := calleeFunc(info, call); callee != nil {
+				if fd, local := cg.Decls[callee]; local && fd.Body != nil {
+					bodies = append(bodies, fd.Body)
+				}
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					bodies = append(bodies, lit.Body)
+				}
+			}
+			if len(bodies) == 0 {
+				// Dynamic spawn of an external function: nothing to prove.
+				return true
+			}
+
+			sigs := collectSignals(bodies)
+			if len(sigs) == 0 {
+				// Look one level deeper: the signal may live in a helper the
+				// goroutine calls. Extending the exclusion region lazily
+				// keeps join sites in unrelated callers visible.
+				for _, fn := range sortedFuncs(cg.Reachable(localFuncsIn(bodies)...)) {
+					if fd := cg.Decls[fn]; fd != nil && fd.Body != nil {
+						bodies = append(bodies, fd.Body)
+					}
+				}
+				sigs = collectSignals(bodies)
+			}
+
+			line := pass.Fset.Position(gs.Pos()).Line
+			waived, hasReason := allowedAt(allows, "goroleak", line)
+			report := func(format string, args ...any) {
+				switch {
+				case !waived:
+					pass.Reportf(gs.Pos(), format, args...)
+				case !hasReason:
+					pass.Reportf(gs.Pos(), "%s goroleak waiver needs a reason", AllowDirective)
+				}
+			}
+
+			if len(sigs) == 0 {
+				report("goroutine has no completion signal (close, send or WaitGroup.Done); shutdown cannot join it — add one or waive with %s goroleak <reason>", AllowDirective)
+				return true
+			}
+			for _, sig := range sigs {
+				if joined(sig, bodies) {
+					return true
+				}
+			}
+			report("goroutine signals completion on %s but nothing in the package awaits it; join it in Close/Shutdown or waive with %s goroleak <reason>", sigs[0].v.Name(), AllowDirective)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder enforces an acyclic lock-acquisition order across the package's
+// sync.Mutex and sync.RWMutex values. The serving layer alone holds three
+// mutexes (pool, quota, per-calculator state) and the multi-device engine a
+// fourth; a deadlock needs only two code paths that nest any pair of them in
+// opposite orders, and no test reliably provokes that interleaving.
+//
+// The analyzer identifies each lock by the declared variable or struct field
+// that holds it (so p.mu on two different Pool values is one lock class —
+// exactly the granularity at which ordering rules are stated), records which
+// locks every function can end up acquiring (transitively, via the shared
+// call graph), and adds an edge A -> B whenever B is acquired — directly or
+// through a call — while A is held. Any cycle in that graph is reported at
+// the acquisition sites on it. Re-acquiring a plain Mutex already held on
+// the same path is reported as an unconditional self-deadlock.
+//
+// A site can be waived with //beagle:allow lockorder <reason>; the reason
+// must state why the interleaving cannot happen (e.g. one side runs only
+// during single-threaded setup).
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisition must follow a global acyclic order (deadlock freedom)",
+	Run:  runLockOrder,
+}
+
+// mutexKind classifies how a lock value is declared.
+func mutexKind(t types.Type) (plain bool, ok bool) {
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return true, true
+	case "RWMutex":
+		return false, true
+	}
+	return false, false
+}
+
+// lockVarOf resolves the receiver expression of a Lock/Unlock call to the
+// declared variable or field holding the mutex, or nil.
+func lockVarOf(info *types.Info, recv ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	t := v.Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	if _, ok := mutexKind(t); !ok {
+		return nil
+	}
+	return v
+}
+
+// lockNames builds human-readable names for lock variables: struct fields
+// are qualified with their struct type ("Pool.mu"), free variables keep
+// their own name.
+func lockNames(pass *Pass) map[*types.Var]string {
+	names := map[*types.Var]string{}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						names[v] = ts.Name.Name + "." + name.Name
+					}
+				}
+			}
+			return true
+		})
+	}
+	return names
+}
+
+func runLockOrder(pass *Pass) error {
+	info := pass.TypesInfo
+	cg := NewCallGraph(pass)
+	names := lockNames(pass)
+	nameOf := func(v *types.Var) string {
+		if n, ok := names[v]; ok {
+			return n
+		}
+		return v.Name()
+	}
+
+	// Per-function facts, gathered in one source-order walk per function:
+	//   - acquired: locks the function itself locks;
+	//   - edges:    lock held -> lock acquired, at the inner acquisition;
+	//   - calls:    same-package calls made while holding locks.
+	type heldCall struct {
+		callee *types.Func
+		held   []*types.Var
+		pos    token.Pos
+	}
+	type acqEdge struct {
+		from, to *types.Var
+		pos      token.Pos
+		self     bool // re-acquiring a lock already held
+	}
+	acquired := map[*types.Func]map[*types.Var]bool{}
+	var edges []acqEdge
+	var calls []heldCall
+
+	for _, fn := range cg.Functions() {
+		fd := cg.Decls[fn]
+		if fd.Body == nil {
+			continue
+		}
+		// Unlocks registered by defer release only when the function
+		// returns, so for ordering purposes the lock stays held for the
+		// rest of the walk.
+		deferred := map[*ast.CallExpr]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if ds, ok := n.(*ast.DeferStmt); ok {
+				deferred[ds.Call] = true
+			}
+			return true
+		})
+
+		var held []*types.Var
+		holds := func(v *types.Var) bool {
+			for _, h := range held {
+				if h == v {
+					return true
+				}
+			}
+			return false
+		}
+		acq := map[*types.Var]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					if v := lockVarOf(info, sel.X); v != nil {
+						if holds(v) {
+							plain, _ := mutexKind(derefType(v.Type()))
+							if plain && sel.Sel.Name == "Lock" {
+								edges = append(edges, acqEdge{from: v, to: v, pos: call.Pos(), self: true})
+							}
+						} else {
+							for _, h := range held {
+								edges = append(edges, acqEdge{from: h, to: v, pos: call.Pos()})
+							}
+							held = append(held, v)
+						}
+						acq[v] = true
+						return true
+					}
+				case "Unlock", "RUnlock":
+					if v := lockVarOf(info, sel.X); v != nil {
+						if !deferred[call] {
+							for i := len(held) - 1; i >= 0; i-- {
+								if held[i] == v {
+									held = append(held[:i], held[i+1:]...)
+									break
+								}
+							}
+						}
+						return true
+					}
+				}
+			}
+			if len(held) > 0 {
+				if callee := calleeFunc(info, call); callee != nil {
+					if _, local := cg.Decls[callee]; local {
+						calls = append(calls, heldCall{callee: callee, held: append([]*types.Var(nil), held...), pos: call.Pos()})
+					}
+				}
+			}
+			return true
+		})
+		if len(acq) > 0 {
+			acquired[fn] = acq
+		}
+	}
+
+	// Transitive summaries: every lock a function can end up acquiring
+	// through calls, then held -> acquired edges at call sites.
+	trans := Fixpoint(cg, acquired)
+	for _, hc := range calls {
+		var acq []*types.Var
+		for v := range trans[hc.callee] {
+			acq = append(acq, v)
+		}
+		sort.Slice(acq, func(i, j int) bool { return acq[i].Pos() < acq[j].Pos() })
+		for _, v := range acq {
+			for _, h := range hc.held {
+				// A callee re-acquiring a plain Mutex the caller holds is an
+				// unconditional deadlock; recursive RLock is merely an edge.
+				plain, _ := mutexKind(derefType(v.Type()))
+				edges = append(edges, acqEdge{from: h, to: v, pos: hc.pos, self: h == v && plain})
+			}
+		}
+	}
+
+	// An edge participates in a deadlock when its endpoints lie on a cycle:
+	// either it is a self-edge, or `to` reaches back to `from`.
+	adj := map[*types.Var]map[*types.Var]bool{}
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = map[*types.Var]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	reaches := func(from, to *types.Var) bool {
+		seen := map[*types.Var]bool{}
+		stack := []*types.Var{from}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v == to {
+				return true
+			}
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			for w := range adj[v] {
+				//beagle:allow maprange DFS worklist; only the reachability boolean is read, so visit order cannot matter
+				stack = append(stack, w)
+			}
+		}
+		return false
+	}
+
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	var findings []finding
+	reported := map[string]bool{}
+	for _, e := range edges {
+		var msg string
+		switch {
+		case e.self && e.from == e.to:
+			msg = "lock " + nameOf(e.from) + " is re-acquired while already held on this path (self-deadlock)"
+		case e.from != e.to && reaches(e.to, e.from):
+			msg = "lock-order cycle: " + nameOf(e.to) + " is acquired while holding " + nameOf(e.from) +
+				", but the opposite order also occurs; establish a global lock order"
+		default:
+			continue
+		}
+		key := pass.Fset.Position(e.pos).String() + "|" + msg
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		findings = append(findings, finding{pos: e.pos, msg: msg})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+
+	allowsByFile := map[*token.File][]allowance{}
+	for _, f := range pass.Files {
+		allowsByFile[pass.Fset.File(f.Pos())] = fileAllowances(pass.Fset, f)
+	}
+	for _, fnd := range findings {
+		allows := allowsByFile[pass.Fset.File(fnd.pos)]
+		line := pass.Fset.Position(fnd.pos).Line
+		waived, hasReason := allowedAt(allows, "lockorder", line)
+		switch {
+		case !waived:
+			pass.Reportf(fnd.pos, "%s; or waive with %s lockorder <reason>", fnd.msg, AllowDirective)
+		case !hasReason:
+			pass.Reportf(fnd.pos, "%s lockorder waiver needs a reason", AllowDirective)
+		}
+	}
+	return nil
+}
+
+// derefType unwraps one level of pointer.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapDeterminism turns the library's bit-identity invariant into a static
+// check: Go map iteration order is deliberately randomized, so a `range`
+// over a map must not feed anything order-sensitive. Four sinks are flagged
+// inside map-range bodies:
+//
+//   - appends to a slice declared outside the loop (op schedules, close
+//     lists, exposition rows) — unless the slice is sorted afterwards in the
+//     same function, which is the repo's collect-then-sort idiom;
+//   - compound accumulation into a float (sum += v): float addition does
+//     not commute bitwise, so the result depends on iteration order;
+//   - writes through an index not derived from the range key or value into
+//     a slice or array declared outside the loop;
+//   - output calls (fmt.Print/Fprint family, Write/WriteString methods on
+//     an outside writer): whatever is printed appears in random order.
+//
+// Keyed writes (out[k] = v) and integer counters are order-insensitive and
+// are not flagged. Waive a genuinely order-insensitive site with
+// //beagle:allow maprange <reason>; the reason must say why order cannot
+// matter (or where the sort happens).
+var MapDeterminism = &Analyzer{
+	Name: "mapdeterminism",
+	Doc:  "map iteration must not feed order-sensitive state (bit-identity)",
+	Run:  runMapDeterminism,
+}
+
+func runMapDeterminism(pass *Pass) error {
+	info := pass.TypesInfo
+
+	terminalVar := func(e ast.Expr) *types.Var {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[e].(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			v, _ := info.Uses[e.Sel].(*types.Var)
+			return v
+		}
+		return nil
+	}
+
+	isFloat := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+	}
+
+	for _, f := range pass.Files {
+		allows := fileAllowances(pass.Fset, f)
+		report := func(pos token.Pos, format string, args ...any) {
+			line := pass.Fset.Position(pos).Line
+			waived, hasReason := allowedAt(allows, "maprange", line)
+			switch {
+			case !waived:
+				pass.Reportf(pos, format, args...)
+			case !hasReason:
+				pass.Reportf(pos, "%s maprange waiver needs a reason", AllowDirective)
+			}
+		}
+
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pass, fd, rs, terminalVar, isFloat, report)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkMapRange inspects one map-range body for order-sensitive sinks.
+func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt,
+	terminalVar func(ast.Expr) *types.Var, isFloat func(types.Type) bool,
+	report func(token.Pos, string, ...any)) {
+
+	info := pass.TypesInfo
+
+	// The range key and value variables: indexes derived from them are
+	// keyed writes, which iteration order cannot affect.
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	derivedFromLoop := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && loopVars[obj] {
+					found = true
+				}
+			}
+			return true
+		})
+		return found
+	}
+	declaredOutside := func(v *types.Var) bool {
+		return v != nil && (v.Pos() < rs.Pos() || v.Pos() > rs.End())
+	}
+	// sortedAfter reports the collect-then-sort idiom: v is handed to a
+	// sort.* or slices.* call after the range in the same function.
+	sortedAfter := func(v *types.Var) bool {
+		found := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() < rs.End() {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ok := false
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, isID := m.(*ast.Ident); isID {
+						if u, _ := info.Uses[id].(*types.Var); u == v {
+							ok = true
+						}
+					}
+					return true
+				})
+				if ok {
+					found = true
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			lhs := ast.Unparen(n.Lhs[0])
+
+			// x = append(x, ...) into a slice that outlives the loop.
+			if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if bi, ok := info.Uses[id].(*types.Builtin); ok && bi.Name() == "append" {
+						if _, isIdx := lhs.(*ast.IndexExpr); !isIdx {
+							if v := terminalVar(lhs); declaredOutside(v) && !sortedAfter(v) {
+								report(n.Pos(), "append to %s inside a map range is order-nondeterministic; sort the keys (or the result) or waive with %s maprange <reason>", v.Name(), AllowDirective)
+							}
+						}
+						return true
+					}
+				}
+			}
+
+			// sum += v on floats: bitwise result depends on order.
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if t := info.TypeOf(n.Lhs[0]); t != nil && isFloat(t) {
+					var v *types.Var
+					if idx, ok := lhs.(*ast.IndexExpr); ok {
+						if derivedFromLoop(idx.Index) {
+							return true
+						}
+						v = terminalVar(idx.X)
+					} else {
+						v = terminalVar(lhs)
+					}
+					if declaredOutside(v) {
+						report(n.Pos(), "float accumulation into %s inside a map range is order-dependent (bit-identity); iterate sorted keys or waive with %s maprange <reason>", v.Name(), AllowDirective)
+					}
+				}
+				return true
+			}
+
+			// buf[i] = x through a loop-independent index.
+			if idx, ok := lhs.(*ast.IndexExpr); ok && n.Tok == token.ASSIGN {
+				bt := info.TypeOf(idx.X)
+				if bt == nil {
+					return true
+				}
+				switch bt.Underlying().(type) {
+				case *types.Slice, *types.Array, *types.Pointer:
+				default:
+					return true // keyed map writes are order-insensitive
+				}
+				if derivedFromLoop(idx.Index) {
+					return true
+				}
+				if v := terminalVar(idx.X); declaredOutside(v) {
+					report(n.Pos(), "indexed write to %s inside a map range depends on iteration order; iterate sorted keys or waive with %s maprange <reason>", v.Name(), AllowDirective)
+				}
+			}
+
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// fmt.Print/Fprint family.
+			if pkgID, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if pn, ok := info.Uses[pkgID].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+					name := sel.Sel.Name
+					if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+						report(n.Pos(), "printing inside a map range emits lines in nondeterministic order; iterate sorted keys or waive with %s maprange <reason>", AllowDirective)
+					}
+					return true
+				}
+			}
+			// Writer methods on something that outlives the loop.
+			switch sel.Sel.Name {
+			case "Write", "WriteString", "WriteByte", "WriteRune":
+				if v := terminalVar(sel.X); declaredOutside(v) {
+					report(n.Pos(), "writing to %s inside a map range emits bytes in nondeterministic order; iterate sorted keys or waive with %s maprange <reason>", v.Name(), AllowDirective)
+				}
+			}
+		}
+		return true
+	})
+}

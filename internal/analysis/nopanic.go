@@ -5,6 +5,10 @@ import (
 	"go/types"
 )
 
+// The call-graph construction that originally lived here is now the shared
+// interprocedural layer in callgraph.go, used by lockorder, goroleak and
+// ctxhttp as well.
+
 // NoPanic enforces the library's error-flow contract: no panic may be
 // reachable from an exported entry point. BEAGLE's reliability across
 // heterogeneous hardware rests on a uniform error-code discipline at the
@@ -31,79 +35,11 @@ var NoPanic = &Analyzer{
 func runNoPanic(pass *Pass) error {
 	info := pass.TypesInfo
 
-	// decls maps each function object to its syntax; edges is the static
-	// reference graph between same-package functions.
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok {
-				if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
-					decls[obj] = fd
-				}
-			}
-		}
-	}
-
-	edges := map[*types.Func][]*types.Func{}
-	addRefs := func(from *types.Func, root ast.Node) {
-		ast.Inspect(root, func(n ast.Node) bool {
-			id, ok := n.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			if to, ok := info.Uses[id].(*types.Func); ok {
-				if _, local := decls[to]; local && to != from {
-					edges[from] = append(edges[from], to)
-				}
-			}
-			return true
-		})
-	}
-	for obj, fd := range decls {
-		if fd.Body != nil {
-			addRefs(obj, fd.Body)
-		}
-	}
-
-	// Entry points: exported functions and methods, plus anything referenced
-	// from a package-level variable initializer (which runs unconditionally
-	// at import time).
-	reachable := map[*types.Func]bool{}
-	var mark func(fn *types.Func)
-	mark = func(fn *types.Func) {
-		if reachable[fn] {
-			return
-		}
-		reachable[fn] = true
-		for _, to := range edges[fn] {
-			mark(to)
-		}
-	}
-	for obj := range decls {
-		if obj.Exported() {
-			mark(obj)
-		}
-	}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			gd, ok := d.(*ast.GenDecl)
-			if !ok {
-				continue
-			}
-			ast.Inspect(gd, func(n ast.Node) bool {
-				id, ok := n.(*ast.Ident)
-				if !ok {
-					return true
-				}
-				if to, ok := info.Uses[id].(*types.Func); ok {
-					if _, local := decls[to]; local {
-						mark(to)
-					}
-				}
-				return true
-			})
-		}
-	}
+	// Entry points (exported functions and methods, plus anything referenced
+	// from a package-level variable initializer, which runs unconditionally
+	// at import time) and reachability come from the shared call graph.
+	cg := NewCallGraph(pass)
+	reachable := cg.Reachable(cg.EntryPoints()...)
 
 	// Report reachable panic sites without a reasoned waiver.
 	for _, f := range pass.Files {

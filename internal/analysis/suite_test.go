@@ -31,3 +31,23 @@ func TestHazardCapture(t *testing.T) {
 func TestAllocGuard(t *testing.T) {
 	analysistest.Run(t, analysis.AllocGuard, "testdata/src/allocguard")
 }
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysis.LockOrder, "testdata/src/lockorder")
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicMix, "testdata/src/atomicmix")
+}
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, analysis.GoroLeak, "testdata/src/goroleak")
+}
+
+func TestMapDeterminism(t *testing.T) {
+	analysistest.Run(t, analysis.MapDeterminism, "testdata/src/mapdeterminism")
+}
+
+func TestCtxHTTP(t *testing.T) {
+	analysistest.Run(t, analysis.CtxHTTP, "testdata/src/ctxhttp")
+}

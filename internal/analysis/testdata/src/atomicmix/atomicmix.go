@@ -1,0 +1,59 @@
+// Package atomicmix is the analyzer fixture: any plain load or store of a
+// variable that is elsewhere accessed through sync/atomic must be reported;
+// consistently-plain fields, composite-literal initialization and reasoned
+// waivers must not.
+package atomicmix
+
+import "sync/atomic"
+
+type Counter struct {
+	// hits is maintained atomically by the fast path.
+	hits int64
+	// cold is guarded by external synchronization and never touched
+	// atomically, so plain access is consistent.
+	cold int64
+}
+
+func (c *Counter) Inc() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *Counter) Load() int64 { return atomic.LoadInt64(&c.hits) }
+
+// Peek reads the atomic field plainly: a data race.
+func (c *Counter) Peek() int64 {
+	return c.hits // want `hits is accessed via sync/atomic elsewhere but plainly here`
+}
+
+// Reset stores plainly over concurrent atomic adds: lost updates.
+func (c *Counter) Reset() {
+	c.hits = 0 // want `hits is accessed via sync/atomic`
+}
+
+// Bump touches only the consistently-plain field.
+func (c *Counter) Bump() { c.cold++ }
+
+// New initializes through a composite literal, which names the field but
+// happens before the value is shared; not a mixed access.
+func New() *Counter {
+	return &Counter{hits: 0, cold: 0}
+}
+
+// Package-level variables mix the same way fields do.
+var generation int64
+
+func Advance() { atomic.AddInt64(&generation, 1) }
+
+func Stale() int64 {
+	return generation // want `generation is accessed via sync/atomic`
+}
+
+// Waived with a reason: allowed.
+func (c *Counter) Approx() int64 {
+	//beagle:allow atomicmix approximate stats read; torn values are acceptable here
+	return c.hits
+}
+
+// A bare waiver is itself an error.
+func (c *Counter) ApproxBare() int64 {
+	//beagle:allow atomicmix
+	return c.hits // want `atomicmix waiver needs a reason`
+}

@@ -1,0 +1,113 @@
+// Package ctxhttp is the analyzer fixture: handlers (detected structurally,
+// so net/http is not imported here) must not panic, must write the status
+// at most once per path, and must not write body bytes after an error
+// status. Helper-mediated status writes are found through the call graph.
+package ctxhttp
+
+import "fmt"
+
+type header map[string][]string
+
+// ResponseWriter mirrors net/http's interface shape; the analyzer detects
+// handlers by the WriteHeader(int) method, not by import path.
+type ResponseWriter interface {
+	Header() header
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}
+
+type Request struct {
+	Method string
+	Path   string
+}
+
+const (
+	statusOK         = 200
+	statusBadRequest = 400
+	statusNotFound   = 404
+)
+
+// writeError writes the status through a helper; the analyzer's call-graph
+// summary marks it a status writer.
+func writeError(w ResponseWriter, code int, msg string) {
+	w.WriteHeader(code)
+	fmt.Fprintln(w, msg)
+}
+
+// handleGood writes exactly once on every path.
+func handleGood(w ResponseWriter, r *Request) {
+	if r.Method != "POST" {
+		writeError(w, statusBadRequest, "POST only")
+		return
+	}
+	w.WriteHeader(statusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleDouble writes the status line twice on the same path.
+func handleDouble(w ResponseWriter, r *Request) {
+	w.WriteHeader(statusOK)
+	w.WriteHeader(statusOK) // want `status is written a second time`
+}
+
+// handleFallthrough writes an error in a branch that forgets to return,
+// then writes again.
+func handleFallthrough(w ResponseWriter, r *Request) {
+	if r.Path == "" {
+		writeError(w, statusNotFound, "not found")
+	}
+	w.WriteHeader(statusOK) // want `status is written a second time`
+}
+
+// handleTrailer appends body bytes to an error reply.
+func handleTrailer(w ResponseWriter, r *Request) {
+	writeError(w, statusBadRequest, "bad request")
+	fmt.Fprintln(w, "details follow") // want `body bytes are written after an error status`
+}
+
+// handlePanic panics on bad input instead of returning a status.
+func handlePanic(w ResponseWriter, r *Request) {
+	if r.Path == "" {
+		panic("empty path") // want `handler handlePanic panics`
+	}
+	w.WriteHeader(statusOK)
+}
+
+// handleDeepPanic reaches a panic through a helper.
+func handleDeepPanic(w ResponseWriter, r *Request) { // want `handler handleDeepPanic can reach a panic in mustParse`
+	mustParse(r.Path)
+	w.WriteHeader(statusOK)
+}
+
+func mustParse(p string) {
+	if p == "" {
+		panic("bad path")
+	}
+}
+
+// Handler literals are checked too; this one is clean.
+var routes = map[string]func(ResponseWriter, *Request){}
+
+func register() {
+	routes["/"] = func(w ResponseWriter, r *Request) {
+		if r.Path != "/" {
+			writeError(w, statusNotFound, "no such route")
+			return
+		}
+		fmt.Fprintln(w, "index")
+	}
+}
+
+// handleWaived documents a double write with a reason.
+func handleWaived(w ResponseWriter, r *Request) {
+	w.WriteHeader(statusOK)
+	//beagle:allow ctxhttp legacy retry shim; second write is dropped by the recorder on purpose
+	w.WriteHeader(statusOK)
+}
+
+// handleWaivedBare has a waiver without a reason: itself an error.
+func handleWaivedBare(w ResponseWriter, r *Request) {
+	w.WriteHeader(statusOK)
+	//beagle:allow ctxhttp
+	w.WriteHeader(statusOK) // want `ctxhttp waiver needs a reason`
+}

@@ -1,0 +1,149 @@
+// Package goroleak is the analyzer fixture: goroutines with no completion
+// signal, or whose signal nothing awaits, must be reported; channel, select
+// and WaitGroup joins — local or through struct fields — must not. The
+// Leaky type reproduces the PR 7 DebugServer bug shape.
+package goroleak
+
+import "sync"
+
+func work() {}
+
+// Leaky is the DebugServer bug: the goroutine closes done on exit, but
+// Close forgets to receive, so "Close returned" never means "goroutine
+// exited".
+type Leaky struct {
+	done chan struct{}
+}
+
+func NewLeaky() *Leaky {
+	s := &Leaky{done: make(chan struct{})}
+	go func() { // want `signals completion on done but nothing in the package awaits it`
+		defer close(s.done)
+		work()
+	}()
+	return s
+}
+
+func (s *Leaky) Close() {
+	// Forgot <-s.done: the goroutine may still be running.
+}
+
+// Joined is the fixed shape: Close receives the completion signal.
+type Joined struct {
+	done chan struct{}
+}
+
+func NewJoined() *Joined {
+	s := &Joined{done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		work()
+	}()
+	return s
+}
+
+func (s *Joined) Close() { <-s.done }
+
+// Fire has no completion signal at all.
+func Fire() {
+	go work() // want `no completion signal`
+}
+
+// Fan joins through a local WaitGroup.
+func Fan(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// Exec spawns a method value whose body signals a field channel joined by
+// Wait (the serve-layer calculator executor shape).
+type Exec struct {
+	closed chan struct{}
+}
+
+func NewExec() *Exec {
+	e := &Exec{closed: make(chan struct{})}
+	go e.run()
+	return e
+}
+
+func (e *Exec) run() {
+	defer close(e.closed)
+	work()
+}
+
+func (e *Exec) Wait() { <-e.closed }
+
+// Deep signals one call level below the goroutine body.
+type Deep struct {
+	done chan struct{}
+}
+
+func NewDeep() *Deep {
+	s := &Deep{done: make(chan struct{})}
+	go func() { s.loop() }()
+	return s
+}
+
+func (s *Deep) loop() {
+	defer close(s.done)
+	work()
+}
+
+func (s *Deep) Close() { <-s.done }
+
+// Worker passes its body as a function-literal argument (the pprof.Do
+// labeling pattern); the WaitGroup signal inside it is joined by stop.
+type Worker struct {
+	jobs chan func()
+	done sync.WaitGroup
+}
+
+func (p *Worker) start() {
+	p.done.Add(1)
+	go runWith(func() {
+		defer p.done.Done()
+		for job := range p.jobs {
+			job()
+		}
+	})
+}
+
+func runWith(f func()) { f() }
+
+func (p *Worker) stop() {
+	close(p.jobs)
+	p.done.Wait()
+}
+
+// Serve joins an error channel through a select receive (the daemon's
+// ListenAndServe shape).
+func Serve() error {
+	errc := make(chan error, 1)
+	go func() { errc <- run() }()
+	select {
+	case err := <-errc:
+		return err
+	}
+}
+
+func run() error { return nil }
+
+// Detached is sanctioned with a reasoned waiver.
+func Detached() {
+	//beagle:allow goroleak fire-and-forget cache warmer; process lifetime by design
+	go work()
+}
+
+// DetachedBare has a waiver without a reason: itself an error.
+func DetachedBare() {
+	//beagle:allow goroleak
+	go work() // want `goroleak waiver needs a reason`
+}

@@ -1,0 +1,161 @@
+// Package lockorder is the analyzer fixture: opposite-order lock nesting
+// (direct and through calls) and re-acquisition of a held Mutex must be
+// reported; sequential locking, the unlock/relock idiom and consistently
+// ordered nesting must not.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// AB and BA nest the same two locks in opposite orders: the classic
+// two-path deadlock. Both inner acquisitions are on the cycle.
+func AB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle`
+	defer b.mu.Unlock()
+}
+
+func BA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock-order cycle`
+	defer a.mu.Unlock()
+}
+
+// The same inversion hidden behind calls: P holds its lock and calls into
+// C, which locks its own; elsewhere C holds its lock and calls back into P.
+type P struct{ mu sync.Mutex }
+
+type C struct{ mu sync.Mutex }
+
+func (p *P) LockChild(c *C) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c.lockSelf() // want `lock-order cycle`
+}
+
+func (c *C) lockSelf() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+func (c *C) LockParent(p *P) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p.lockSelf() // want `lock-order cycle`
+}
+
+func (p *P) lockSelf() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+}
+
+// Re-acquiring a plain Mutex already held is an unconditional deadlock.
+type R struct{ mu sync.Mutex }
+
+func (r *R) Double() {
+	r.mu.Lock()
+	r.mu.Lock() // want `self-deadlock`
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// ...including through a call.
+type S struct{ mu sync.Mutex }
+
+func (s *S) Outer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner() // want `self-deadlock`
+}
+
+func (s *S) inner() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// Clean: sequential lock/unlock over shards never holds two locks at once.
+type Sharded struct {
+	shards [4]struct {
+		mu sync.Mutex
+		n  int
+	}
+}
+
+func (t *Sharded) Total() int {
+	sum := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		sum += sh.n
+		sh.mu.Unlock()
+	}
+	return sum
+}
+
+// Clean: drop the lock, compute, re-take it (the eigenFor idiom).
+type Cache struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (c *Cache) Fill() int {
+	c.mu.Lock()
+	if c.v != 0 {
+		defer c.mu.Unlock()
+		return c.v
+	}
+	c.mu.Unlock()
+	v := compute()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v = v
+	return v
+}
+
+func compute() int { return 42 }
+
+// Clean: two paths that nest X then Y in the same order are a partial
+// order, not a cycle.
+type X struct{ mu sync.Mutex }
+
+type Y struct{ mu sync.Mutex }
+
+func First(x *X, y *Y) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	defer y.mu.Unlock()
+}
+
+func Second(x *X, y *Y) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	defer y.mu.Unlock()
+}
+
+// Waivers: a reasoned waiver silences the site; a bare one is an error.
+type W1 struct{ mu sync.Mutex }
+
+type W2 struct{ mu sync.Mutex }
+
+func WaivedSide(a *W1, b *W2) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	//beagle:allow lockorder boot-time only; the opposite order runs after serving starts
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+func BareWaiver(a *W1, b *W2) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//beagle:allow lockorder
+	a.mu.Lock() // want `lockorder waiver needs a reason`
+	defer a.mu.Unlock()
+}

@@ -1,0 +1,120 @@
+// Package mapdeterminism is the analyzer fixture: map ranges feeding
+// order-sensitive sinks (outer appends, float accumulation, cursor-indexed
+// writes, output) must be reported; keyed writes, integer counters, the
+// collect-then-sort idiom and reasoned waivers must not.
+package mapdeterminism
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schedule appends ops in map order: every run produces a different
+// schedule.
+func Schedule(ops map[string]int) []int {
+	var out []int
+	for _, op := range ops {
+		out = append(out, op) // want `append to out inside a map range`
+	}
+	return out
+}
+
+// Keys is the sanctioned idiom: collect, then sort before use.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedSlice also suppresses: sort.Slice counts as a sort of the result.
+func SortedSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Total accumulates floats in map order: the bitwise result differs run to
+// run even though the mathematical sum does not.
+func Total(w map[string]float64) float64 {
+	var sum float64
+	for _, v := range w {
+		sum += v // want `float accumulation into sum`
+	}
+	return sum
+}
+
+// Count uses an integer accumulator, which commutes exactly.
+func Count(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes keyed by loop variables: order-insensitive.
+func Invert(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Place indexes by the range value: still keyed, still deterministic.
+func Place(idx map[string]int, names []string) {
+	for name, i := range idx {
+		names[i] = name
+	}
+}
+
+// Pack writes through an independent cursor: slot assignment follows map
+// order.
+func Pack(m map[string]int, buf []int) {
+	i := 0
+	for _, v := range m {
+		buf[i] = v // want `indexed write to buf inside a map range`
+		i++
+	}
+}
+
+// Dump prints lines in map order.
+func Dump(m map[string]bool) {
+	for k := range m {
+		fmt.Println(k) // want `printing inside a map range`
+	}
+}
+
+// Expo streams exposition rows in map order.
+func Expo(sb *strings.Builder, m map[string]string) {
+	for k := range m {
+		sb.WriteString(k) // want `writing to sb inside a map range`
+	}
+}
+
+// Waived accumulates into a set-like result with a reasoned waiver.
+func Waived(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		//beagle:allow maprange feeds a histogram; only the multiset of values matters
+		out = append(out, v)
+	}
+	return out
+}
+
+// WaivedBare carries a waiver without a reason: itself an error.
+func WaivedBare(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		//beagle:allow maprange
+		out = append(out, v) // want `maprange waiver needs a reason`
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsExpositionStable pins the /metrics Prometheus exposition to be
+// byte-identical across two scrapes of an idle daemon. Every map in the path
+// from pool snapshot to text rendering (per-key calculator stats, sample
+// labels) must therefore be emitted in a sorted order; any reintroduced map
+// iteration shows up here as a flaky diff long before it confuses a scrape
+// differ in production.
+func TestMetricsExpositionStable(t *testing.T) {
+	s := newTestServer(t, nil)
+
+	// Evaluate a couple of distinct shapes first so the exposition carries
+	// several per-calculator label sets — the part of the output that came
+	// from map-ordered state before Pool.Stats sorted it.
+	evaluate(t, s, testRequest(4, 12, 1, false))
+	evaluate(t, s, testRequest(8, 40, 2, true))
+
+	scrape := func() string {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET /metrics: status %d", rec.Code)
+		}
+		return rec.Body.String()
+	}
+
+	first := scrape()
+	if !strings.Contains(first, "beagled_calc_requests_total") {
+		t.Fatalf("exposition carries no per-calculator rows; scrape:\n%s", first)
+	}
+	for i := 0; i < 8; i++ {
+		if next := scrape(); !bytes.Equal([]byte(first), []byte(next)) {
+			t.Fatalf("scrape %d differs from first on an idle daemon:\n--- first\n%s\n--- scrape %d\n%s",
+				i+2, first, i+2, next)
+		}
+	}
+}

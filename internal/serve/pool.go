@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -116,9 +117,14 @@ func (p *Pool) touch(key PoolKey) {
 // finalize.
 func (p *Pool) Close() {
 	p.mu.Lock()
+	// Tear down in LRU order rather than map order: close order is
+	// observable through finalization traces and span timestamps, and the
+	// daemon's shutdown must be reproducible run to run.
 	calcs := make([]*Calculator, 0, len(p.calcs))
-	for _, c := range p.calcs {
-		calcs = append(calcs, c)
+	for _, key := range p.order {
+		if c, ok := p.calcs[key]; ok {
+			calcs = append(calcs, c)
+		}
 	}
 	p.calcs = map[PoolKey]*Calculator{}
 	p.order = nil
@@ -186,5 +192,8 @@ func (p *Pool) Stats() PoolStats {
 			QueueLen:  len(c.queue),
 		})
 	}
+	// Sort per-calculator rows by key: p.order is LRU order, which traffic
+	// reshuffles between scrapes, and /metrics output must diff cleanly.
+	sort.Slice(st.PerKey, func(i, j int) bool { return st.PerKey[i].Key < st.PerKey[j].Key })
 	return st
 }

@@ -24,8 +24,10 @@ section "go vet ./..."
 go -C "$ROOT" vet ./...
 
 # beaglevet: the repo's own analyzer suite (internal/analysis) — noalloc,
-# nopanic, flagexcl, hazardcapture, allocguard. Stock vet already ran above,
-# so -stock=false avoids running it twice.
+# nopanic, flagexcl, hazardcapture, allocguard, plus the interprocedural
+# checks lockorder, atomicmix, goroleak, mapdeterminism and ctxhttp (all on
+# by default; any unwaived diagnostic fails the run). Stock vet already ran
+# above, so -stock=false avoids running it twice.
 section "beaglevet ./..."
 go -C "$ROOT" run ./cmd/beaglevet -stock=false ./...
 
