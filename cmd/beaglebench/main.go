@@ -18,7 +18,7 @@
 //
 // Usage:
 //
-//	beaglebench -experiment table3|table3hybrid|table4|table5|fig4|fig4smoke|fig5|fig6|rebalance|mcmcreuse|all
+//	beaglebench -experiment table3|table3hybrid|table4|table5|fig4|fig4smoke|fig5|fig6|rebalance|distshard|mcmcreuse|all
 //	            [-json DIR] [-compare PATH [-tolerance FRAC]] [-trace FILE]
 package main
 
@@ -34,7 +34,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table3, table3hybrid, table4, table5, fig4, fig4smoke, fig5, fig6, rebalance, mcmcreuse, serve, or all")
+	experiment := flag.String("experiment", "all", "table3, table3hybrid, table4, table5, fig4, fig4smoke, fig5, fig6, rebalance, distshard, mcmcreuse, serve, or all")
 	jsonDir := flag.String("json", "", "directory to also write machine-readable BENCH_<experiment>.json reports")
 	compare := flag.String("compare", "", "baseline directory (or single BENCH_<experiment>.json) to gate each experiment against")
 	tolerance := flag.Float64("tolerance", benchmarks.DefaultTolerance, "relative regression tolerance for -compare")
@@ -51,13 +51,14 @@ func main() {
 		"fig5":         runFig5,
 		"fig6":         runFig6,
 		"rebalance":    runRebalance,
+		"distshard":    runDistShard,
 		"mcmcreuse":    runMcmcReuse,
 		"serve":        runServe,
 	}
 	// fig4smoke is a reduced sweep for CI smoke runs; "all" keeps the paper's
 	// full experiment set plus the §IX rebalance demonstration, the
 	// incremental re-evaluation experiment and the serving-layer load test.
-	order := []string{"table3", "table3hybrid", "table4", "table5", "fig4", "fig5", "fig6", "rebalance", "mcmcreuse", "serve"}
+	order := []string{"table3", "table3hybrid", "table4", "table5", "fig4", "fig5", "fig6", "rebalance", "distshard", "mcmcreuse", "serve"}
 
 	selected := []string{}
 	if *experiment == "all" {
@@ -227,6 +228,18 @@ func runRebalance(w io.Writer) (benchmarks.Report, error) {
 	}
 	benchmarks.PrintRebalance(w, rows)
 	return benchmarks.RebalanceReport(rows), nil
+}
+
+// runDistShard measures distributed pattern sharding over loopback worker
+// processes against the local multi-device and single-engine baselines,
+// verifying bit-identical roots across all three.
+func runDistShard(w io.Writer) (benchmarks.Report, error) {
+	rows, err := benchmarks.DistShard()
+	if err != nil {
+		return benchmarks.Report{}, err
+	}
+	benchmarks.PrintDistShard(w, rows)
+	return benchmarks.DistShardReport(rows), nil
 }
 
 // runMcmcReuse measures the accepted-move cost of an MCMC proposal stream

@@ -44,6 +44,7 @@ func main() {
 		burst        = flag.Int("burst", def.QuotaBurst, "per-tenant quota burst")
 		threads      = flag.Int("threads", 0, "worker threads per pooled instance (0 = all cores)")
 		noPool       = flag.Bool("no-pool", false, "ablation: evaluate every request on a fresh instance")
+		workersArg   = flag.String("workers", "", "comma-separated beagleworker addresses; pooled instances shard patterns across the local host and these workers")
 		selfcheck    = flag.Bool("selfcheck", false, "boot in-process, verify a served request against direct evaluation, exit")
 	)
 	flag.Parse()
@@ -60,6 +61,9 @@ func main() {
 	opts.QuotaBurst = *burst
 	opts.Threads = *threads
 	opts.DisablePool = *noPool
+	if *workersArg != "" {
+		opts.Workers = strings.Split(*workersArg, ",")
+	}
 
 	if *selfcheck {
 		if err := runSelfcheck(opts); err != nil {

@@ -17,8 +17,10 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"gobeagle/internal/loadgen"
@@ -55,10 +57,16 @@ func main() {
 		}
 	}
 
+	// Interrupting the run (Ctrl-C, or the harness' SIGTERM) cancels the
+	// in-flight workers and still flushes the report over what completed,
+	// instead of dying with the measurements lost.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	client := &http.Client{Timeout: 60 * time.Second}
 	base := strings.TrimRight(*url, "/")
 	verifyFailures := 0
-	rep := loadgen.Run(context.Background(), loadgen.Options{
+	rep := loadgen.Run(ctx, loadgen.Options{
 		Concurrency:    *concurrency,
 		Requests:       *requests,
 		WarmupRequests: *warmup,
@@ -119,6 +127,10 @@ func main() {
 			log.Fatalf("beagleload: %d responses were NOT bit-identical to direct evaluation", verifyFailures)
 		}
 		fmt.Printf("beagleload: all %d OK responses bit-identical to direct evaluation\n", rep.Codes[http.StatusOK])
+	}
+	if ctx.Err() != nil {
+		fmt.Println("beagleload: interrupted; report covers the completed requests only")
+		os.Exit(130)
 	}
 	if rep.Errors > 0 {
 		os.Exit(1)

@@ -1,0 +1,98 @@
+// Command beagleworker hosts likelihood engines for a distributed gobeagle
+// coordinator. It listens on a TCP address, speaks the remoteimpl wire
+// protocol and builds one CPU engine per coordinator backend session; a
+// coordinator created with NewDistributedInstance (or the beagled -workers
+// flag) shards its site patterns across a set of these processes.
+//
+//	beagleworker -addr 127.0.0.1:8381
+//	beagleworker -addr 127.0.0.1:0 -port-file /tmp/worker.addr -threading threadpool
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gobeagle/internal/cpuimpl"
+	"gobeagle/internal/engine"
+	"gobeagle/internal/remoteimpl"
+)
+
+func parseMode(s string) (cpuimpl.Mode, error) {
+	switch s {
+	case "serial":
+		return cpuimpl.Serial, nil
+	case "sse":
+		return cpuimpl.SSE, nil
+	case "futures":
+		return cpuimpl.Futures, nil
+	case "threadcreate":
+		return cpuimpl.ThreadCreate, nil
+	case "threadpool":
+		return cpuimpl.ThreadPool, nil
+	case "hybrid":
+		return cpuimpl.ThreadPoolHybrid, nil
+	}
+	return 0, fmt.Errorf("unknown threading mode %q (serial|sse|futures|threadcreate|threadpool|hybrid)", s)
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8381", "listen address (use :0 for an ephemeral port)")
+		portFile   = flag.String("port-file", "", "write the bound address to this file once listening (for test harnesses)")
+		threads    = flag.Int("threads", 0, "worker threads per hosted engine (0 = all cores)")
+		threading  = flag.String("threading", "serial", "CPU execution strategy: serial|sse|futures|threadcreate|threadpool|hybrid")
+		sessionTTL = flag.Duration("session-ttl", 10*time.Minute, "how long a detached session survives for coordinator re-dial")
+		quiet      = flag.Bool("quiet", false, "suppress connection lifecycle logging")
+	)
+	flag.Parse()
+	log.SetPrefix("beagleworker: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	mode, err := parseMode(*threading)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logf := log.Printf
+	if *quiet {
+		logf = nil
+	}
+	worker, err := remoteimpl.NewWorker(remoteimpl.WorkerOptions{
+		Builder: func(g remoteimpl.Geometry) (engine.Engine, error) {
+			cfg := g.Config()
+			if *threads > 0 {
+				cfg.Threads = *threads
+			}
+			return cpuimpl.New(cfg, mode)
+		},
+		SessionTTL: *sessionTTL,
+		Logf:       logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("listening on %s (%s engines, session TTL %s)", ln.Addr(), mode, *sessionTTL)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := worker.Serve(ctx, ln); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+	log.Printf("shut down")
+}

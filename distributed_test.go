@@ -1,0 +1,203 @@
+package gobeagle
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"gobeagle/internal/cpuimpl"
+	"gobeagle/internal/engine"
+	"gobeagle/internal/remoteimpl"
+	"gobeagle/internal/seqgen"
+	"gobeagle/internal/substmodel"
+	"gobeagle/internal/tree"
+)
+
+// startTestWorker boots an in-process beagleworker on loopback and returns
+// its address and a stop function (idempotent, joins the server).
+func startTestWorker(t *testing.T) (string, func()) {
+	t.Helper()
+	worker, err := remoteimpl.NewWorker(remoteimpl.WorkerOptions{
+		Builder: func(g remoteimpl.Geometry) (engine.Engine, error) {
+			return cpuimpl.New(g.Config(), cpuimpl.Serial)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		worker.Serve(ctx, ln)
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
+	}
+	t.Cleanup(stop)
+	return ln.Addr().String(), stop
+}
+
+func distributedProblem(t *testing.T, seed int64) (*tree.Tree, *substmodel.Model, *substmodel.SiteRates, *seqgen.PatternSet) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tr, err := tree.Random(rng, 10, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := substmodel.NewHKY85(2, []float64{0.3, 0.2, 0.25, 0.25})
+	rates, _ := substmodel.GammaRates(0.7, 4)
+	align, err := seqgen.Simulate(rng, tr, m, rates, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, m, rates, seqgen.CompressPatterns(align)
+}
+
+func TestDistributedInstanceBitIdenticalToSingle(t *testing.T) {
+	tr, m, rates, ps := distributedProblem(t, 31)
+
+	single, err := NewInstance(instanceConfig(tr, 4, ps.PatternCount(), 4, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Finalize()
+	want := evaluateTree(t, single, tr, m, rates, ps)
+
+	addr1, _ := startTestWorker(t)
+	addr2, _ := startTestWorker(t)
+	dist, err := NewDistributedInstance(
+		instanceConfig(tr, 4, ps.PatternCount(), 4, 0, 0),
+		[]string{addr1, addr2}, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dist.Finalize()
+	if !strings.HasPrefix(dist.Implementation(), "Multi[") ||
+		!strings.Contains(dist.Implementation(), "Remote[") {
+		t.Fatalf("implementation %q", dist.Implementation())
+	}
+	got := evaluateTree(t, dist, tr, m, rates, ps)
+	if got != want {
+		t.Fatalf("distributed root lnL %v != single %v (must be bit-identical)", got, want)
+	}
+	wantSite, err := single.SiteLogLikelihoods(tr.Root.Index, None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSite, err := dist.SiteLogLikelihoods(tr.Root.Index, None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range wantSite {
+		if gotSite[p] != wantSite[p] {
+			t.Fatalf("site %d lnL differs", p)
+		}
+	}
+
+	stats := dist.RemoteStats()
+	if len(stats) != 2 {
+		t.Fatalf("RemoteStats returned %d entries, want 2", len(stats))
+	}
+	for i, ws := range stats {
+		if ws.Addr != []string{addr1, addr2}[i] {
+			t.Fatalf("stats[%d].Addr = %q", i, ws.Addr)
+		}
+		if ws.RPCs == 0 || ws.BytesSent == 0 || ws.BytesReceived == 0 {
+			t.Fatalf("stats[%d] shows no traffic: %+v", i, ws)
+		}
+		if ws.FailedOver {
+			t.Fatalf("stats[%d] failed over in a healthy run", i)
+		}
+	}
+}
+
+// TestDistributedInstanceSurvivesWorkerDeath kills one of the two workers
+// after the state is set up, then re-evaluates: the dead worker's client must
+// fail over to its journal-replayed local fallback and the results must stay
+// bit-identical.
+func TestDistributedInstanceSurvivesWorkerDeath(t *testing.T) {
+	tr, m, rates, ps := distributedProblem(t, 32)
+
+	single, err := NewInstance(instanceConfig(tr, 4, ps.PatternCount(), 4, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Finalize()
+	want := evaluateTree(t, single, tr, m, rates, ps)
+
+	addr1, stop1 := startTestWorker(t)
+	addr2, _ := startTestWorker(t)
+	dist, err := NewDistributedInstance(
+		instanceConfig(tr, 4, ps.PatternCount(), 4, 0, 0),
+		[]string{addr1, addr2}, nil, nil) // no local shard: patterns live only on workers
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dist.Finalize()
+	got := evaluateTree(t, dist, tr, m, rates, ps)
+	if got != want {
+		t.Fatalf("distributed root lnL %v != single %v before the kill", got, want)
+	}
+
+	stop1() // worker 1 dies for good; its listener is closed, re-dial cannot succeed
+
+	got, err = dist.CalculateRootLogLikelihoods(tr.Root.Index, None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("root lnL %v != single %v after worker death", got, want)
+	}
+	gotSite, err := dist.SiteLogLikelihoods(tr.Root.Index, None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSite, _ := single.SiteLogLikelihoods(tr.Root.Index, None)
+	for p := range wantSite {
+		if gotSite[p] != wantSite[p] {
+			t.Fatalf("site %d lnL differs after worker death", p)
+		}
+	}
+	stats := dist.RemoteStats()
+	if !stats[0].FailedOver {
+		t.Fatalf("worker 1 did not fail over: %+v", stats[0])
+	}
+	if stats[1].FailedOver {
+		t.Fatalf("healthy worker 2 failed over: %+v", stats[1])
+	}
+}
+
+func TestDistributedInstanceErrors(t *testing.T) {
+	tr, _, _, _ := distributedProblem(t, 33)
+	cfg := instanceConfig(tr, 4, 100, 4, 0, 0)
+	if _, err := NewDistributedInstance(cfg, nil, []int{0}, nil); err == nil {
+		t.Fatal("no workers must error")
+	}
+	addr, _ := startTestWorker(t)
+	if _, err := NewDistributedInstance(cfg, []string{addr}, []int{99}, nil); err == nil {
+		t.Fatal("bad local resource id must error")
+	}
+	if _, err := NewDistributedInstance(cfg, []string{addr}, []int{0}, []float64{1}); err == nil {
+		t.Fatal("shares length mismatch must error")
+	}
+	if _, err := NewDistributedInstance(cfg, []string{"127.0.0.1:1"}, nil, nil); err == nil {
+		t.Fatal("unreachable worker must fail the creation probe")
+	}
+	bad := cfg
+	bad.Flags = FlagThreadingFutures | FlagThreadingThreadPool
+	if _, err := NewDistributedInstance(bad, []string{addr}, nil, nil); err == nil {
+		t.Fatal("conflicting threading flags must error")
+	}
+}

@@ -48,6 +48,16 @@ type Engine struct {
 	mu     sync.Mutex
 	lo, hi []int // pattern range per backend
 	reb    *rebalancer
+
+	// patWts is the full pattern-weight vector in global pattern order. The
+	// root reduction needs it: summing per-backend partial root sums would
+	// tie the result's floating-point association to the current partition,
+	// so the engine instead gathers per-pattern site log likelihoods (bit-
+	// identical under any partition) and reduces Σ_p w_p·site_p in global
+	// pattern order — the exact arithmetic of the single-node root kernel,
+	// regardless of how many backends the patterns are spread over or where
+	// the rebalancer has moved the boundaries.
+	patWts []float64
 }
 
 // partition splits p patterns into contiguous per-backend ranges sized
@@ -119,7 +129,15 @@ func NewBalanced(cfg engine.Config, builders []Builder, shares []float64, opts O
 		return nil, fmt.Errorf("multiimpl: %d patterns cannot be split across %d backends", p, n)
 	}
 
+	if err := validateNodes(opts.Nodes, n); err != nil {
+		return nil, err
+	}
+
 	e := &Engine{cfg: cfg}
+	e.patWts = make([]float64, p)
+	for i := range e.patWts {
+		e.patWts[i] = 1
+	}
 	e.lo, e.hi = partition(p, shares)
 	for i, b := range builders {
 		sub := cfg
@@ -172,6 +190,16 @@ func (e *Engine) Ranges() (lo, hi []int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return append([]int(nil), e.lo...), append([]int(nil), e.hi...)
+}
+
+// Backends returns the sub-engines in partition order, for diagnostics that
+// need to reach through the coordinator (e.g. gathering per-backend
+// transport statistics from remote engines). Callers must not drive the
+// returned engines directly while the multi-engine is in use.
+func (e *Engine) Backends() []engine.Engine {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]engine.Engine(nil), e.subs...)
 }
 
 // ReuseStats reports the incremental re-evaluation counters when the
@@ -335,6 +363,7 @@ func (e *Engine) SetPatternWeights(weights []float64) error {
 	if len(weights) != e.cfg.Dims.PatternCount {
 		return fmt.Errorf("multiimpl: %d pattern weights, want %d", len(weights), e.cfg.Dims.PatternCount)
 	}
+	copy(e.patWts, weights) // full copy for the deterministic root reduction
 	return e.parallel(func(i int, sub engine.Engine) error {
 		return sub.SetPatternWeights(weights[e.lo[i]:e.hi[i]])
 	})
@@ -418,6 +447,7 @@ func (e *Engine) UpdatePartials(ops []engine.Operation) error {
 			return err
 		})
 		if err == nil {
+			e.reb.noteBatch(len(ops))
 			for i := range e.subs {
 				e.reb.Observe(i, (e.hi[i]-e.lo[i])*len(ops), elapsed[i].Seconds())
 			}
@@ -467,8 +497,13 @@ func (e *Engine) AccumulateScaleFactors(scaleBufs []int, cumBuf int) error {
 	})
 }
 
-// CalculateRootLogLikelihoods sums the backends' pattern-slice log
-// likelihoods (patterns are independent, so the partition is exact).
+// CalculateRootLogLikelihoods gathers per-pattern site log likelihoods from
+// the backends and reduces Σ_p w_p·site_p in global pattern order. Patterns
+// are independent, so the partition is exact; reducing in global order
+// additionally makes the result bit-identical to the single-node root kernel
+// (which accumulates the same terms left to right) — summing per-backend
+// partial sums instead would tie the floating-point association to wherever
+// the partition boundaries happen to sit.
 func (e *Engine) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float64, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -476,18 +511,21 @@ func (e *Engine) CalculateRootLogLikelihoods(rootBuf, cumScaleBuf int) (float64,
 	if e.cfg.Telemetry.Enabled() {
 		start = time.Now()
 	}
-	parts := make([]float64, len(e.subs))
+	sites := make([]float64, e.cfg.Dims.PatternCount)
 	err := e.parallel(func(i int, sub engine.Engine) error {
-		lnL, err := sub.CalculateRootLogLikelihoods(rootBuf, cumScaleBuf)
-		parts[i] = lnL
-		return err
+		site, err := sub.SiteLogLikelihoods(rootBuf, cumScaleBuf)
+		if err != nil {
+			return err
+		}
+		copy(sites[e.lo[i]:e.hi[i]], site)
+		return nil
 	})
 	if err != nil {
 		return 0, err
 	}
 	var total float64
-	for _, p := range parts {
-		total += p
+	for p, site := range sites {
+		total += e.patWts[p] * site
 	}
 	if !start.IsZero() {
 		e.cfg.Telemetry.Record(telemetry.KernelRoot, 1, time.Since(start))

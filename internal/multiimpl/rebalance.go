@@ -1,6 +1,7 @@
 package multiimpl
 
 import (
+	"errors"
 	"fmt"
 
 	"gobeagle/internal/engine"
@@ -19,6 +20,23 @@ import (
 // the engines' PatternMigrator capability and adopts the new partition. The
 // batch boundary — under the engine mutex, with every backend quiescent — is
 // the safe barrier the migration requires.
+//
+// With Options.Nodes set the rebalancer becomes hierarchical, for
+// coordinators whose backends span machines (remote engines beside local
+// devices). Moving a pattern between two local devices costs a memcpy;
+// moving it across nodes serializes every buffer's slice over a network
+// link, so the two must not be weighed alike. Each decision therefore
+// computes two candidate targets: the intra-node target, which
+// redistributes each node's current span among that node's own backends
+// (node boundaries fixed, migrations stay on-host), and the global target,
+// which also moves patterns across node boundaries. The global target is
+// adopted only when it beats the intra-node one AND its predicted per-batch
+// saving amortizes the estimated cross-node transfer time within
+// CrossNodeHorizon batches — transfer time charged from the remote
+// backends' measured link bandwidth (LinkReporter). Otherwise the decision
+// falls back to the intra-node target, so local devices keep rebalancing
+// freely while patterns cross the network only when the imbalance is
+// persistent enough to pay for the trip.
 
 // Defaults for Options fields left zero.
 const (
@@ -31,10 +49,27 @@ const (
 	DefaultThreshold = 1.05
 	// DefaultAlpha is the EWMA smoothing factor for throughput estimates.
 	DefaultAlpha = 0.3
+	// DefaultCrossNodeHorizon is the number of future batches over which a
+	// cross-node migration's transfer cost must amortize.
+	DefaultCrossNodeHorizon = 50
 
 	// maxEvents bounds the retained rebalance event history.
 	maxEvents = 32
+
+	// assumedLinkBandwidth (bytes/sec) prices cross-node moves before any
+	// payload-sized transfer has measured the real link (~fast ethernet,
+	// deliberately conservative so unmeasured links discourage migration).
+	assumedLinkBandwidth = 100e6
 )
+
+// LinkReporter is implemented by backends that measure their transport
+// bandwidth (remote engines); the rebalancer charges cross-node migration
+// bytes against it.
+type LinkReporter interface {
+	// LinkBandwidth returns the measured payload bandwidth in bytes/sec;
+	// 0 means unmeasured.
+	LinkBandwidth() float64
+}
 
 // Options configures adaptive rebalancing for NewBalanced.
 type Options struct {
@@ -49,6 +84,34 @@ type Options struct {
 	Threshold float64
 	// Alpha is the EWMA smoothing factor in (0, 1] (default DefaultAlpha).
 	Alpha float64
+	// Nodes assigns each backend to a node (machine). Backends of one node
+	// must be contiguous and ids non-decreasing, matching the contiguous
+	// pattern partition. Nil means all backends share one node, which makes
+	// the hierarchical rebalancer behave exactly like the flat one.
+	Nodes []int
+	// CrossNodeHorizon is the number of future batches over which a
+	// cross-node migration must pay for its transfer time (default
+	// DefaultCrossNodeHorizon).
+	CrossNodeHorizon int
+}
+
+// validateNodes checks a Nodes assignment against the backend count.
+func validateNodes(nodes []int, n int) error {
+	if nodes == nil {
+		return nil
+	}
+	if len(nodes) != n {
+		return fmt.Errorf("multiimpl: %d node ids for %d backends", len(nodes), n)
+	}
+	for i, id := range nodes {
+		if id < 0 {
+			return fmt.Errorf("multiimpl: negative node id %d", id)
+		}
+		if i > 0 && id < nodes[i-1] {
+			return errors.New("multiimpl: node ids must be non-decreasing (node groups contiguous)")
+		}
+	}
+	return nil
 }
 
 // RebalanceEvent records one executed repartition.
@@ -63,6 +126,12 @@ type RebalanceEvent struct {
 	// PredictedSpeedup is the modeled batch-time ratio that justified the
 	// move.
 	PredictedSpeedup float64
+	// CrossNode reports whether the repartition moved patterns across node
+	// boundaries (hierarchical mode only).
+	CrossNode bool
+	// CostSeconds is the estimated cross-node transfer time charged when
+	// CrossNode is set.
+	CostSeconds float64
 }
 
 // RebalanceStats is a snapshot of the rebalancer's state for telemetry.
@@ -71,6 +140,9 @@ type RebalanceStats struct {
 	Batches int
 	// Rebalances is the number of executed repartitions.
 	Rebalances int
+	// CrossNodeRebalances counts the repartitions that moved patterns
+	// across node boundaries.
+	CrossNodeRebalances int
 	// PatternsMigrated is the total number of patterns moved across all
 	// repartitions.
 	PatternsMigrated int
@@ -91,11 +163,15 @@ type rebalancer struct {
 	interval  int
 	threshold float64
 	alpha     float64
+	nodes     []int // node id per backend; uniform when hierarchy is off
+	horizon   int   // batches a cross-node move must amortize over
 
 	batch      int
+	lastOps    int       // operations in the most recent batch (cost model)
 	ewma       []float64 // pattern-ops per second, per backend
 	seeded     []bool
 	rebalances int
+	crossNode  int
 	migrated   int
 	events     []RebalanceEvent
 }
@@ -105,6 +181,7 @@ func newRebalancer(n int, opts Options) *rebalancer {
 		interval:  opts.Interval,
 		threshold: opts.Threshold,
 		alpha:     opts.Alpha,
+		horizon:   opts.CrossNodeHorizon,
 		ewma:      make([]float64, n),
 		seeded:    make([]bool, n),
 	}
@@ -117,7 +194,32 @@ func newRebalancer(n int, opts Options) *rebalancer {
 	if r.alpha <= 0 || r.alpha > 1 {
 		r.alpha = DefaultAlpha
 	}
+	if r.horizon <= 0 {
+		r.horizon = DefaultCrossNodeHorizon
+	}
+	r.nodes = make([]int, n)
+	if opts.Nodes != nil {
+		copy(r.nodes, opts.Nodes)
+	}
 	return r
+}
+
+// multiNode reports whether the backends span more than one node.
+func (r *rebalancer) multiNode() bool {
+	for _, id := range r.nodes {
+		if id != r.nodes[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// noteBatch records the size of the batch just executed; the cross-node
+// cost model needs it to turn per-operation spans into seconds per batch.
+//
+//beagle:noalloc
+func (r *rebalancer) noteBatch(ops int) {
+	r.lastOps = ops
 }
 
 // Observe folds one backend's batch measurement into its EWMA throughput
@@ -172,10 +274,102 @@ func (r *rebalancer) predictSpeedup(lo, hi, newLo, newHi []int) float64 {
 	return cur / next
 }
 
+// savedSecondsPerBatch converts the modeled wall-time improvement of a move
+// into seconds per batch, using the most recent batch's operation count:
+// span/rate is seconds per single operation sweep, so batch time is that
+// times the operations in the batch.
+func (r *rebalancer) savedSecondsPerBatch(lo, hi, newLo, newHi []int) float64 {
+	var cur, next float64
+	for i := range r.ewma {
+		if t := float64(hi[i]-lo[i]) / r.ewma[i]; t > cur {
+			cur = t
+		}
+		if t := float64(newHi[i]-newLo[i]) / r.ewma[i]; t > next {
+			next = t
+		}
+	}
+	saved := (cur - next) * float64(r.lastOps)
+	if saved < 0 {
+		return 0
+	}
+	return saved
+}
+
+// intraNodeTarget computes the partition that redistributes each node's
+// current pattern span among that node's own backends by EWMA throughput,
+// leaving the node boundaries where they are — the cheap tier of the
+// hierarchy, whose migrations never touch the network.
+func (r *rebalancer) intraNodeTarget(lo, hi []int) (newLo, newHi []int) {
+	n := len(r.ewma)
+	newLo = make([]int, n)
+	newHi = make([]int, n)
+	for b := 0; b < n; {
+		end := b
+		for end+1 < n && r.nodes[end+1] == r.nodes[b] {
+			end++
+		}
+		span := hi[end] - lo[b]
+		glo, ghi := partition(span, r.ewma[b:end+1])
+		for i := b; i <= end; i++ {
+			newLo[i] = lo[b] + glo[i-b]
+			newHi[i] = lo[b] + ghi[i-b]
+		}
+		b = end + 1
+	}
+	return newLo, newHi
+}
+
+// bytesPerPattern estimates the serialized size of one pattern's migrating
+// state: every partials buffer's category×state block, plus its scale and
+// tip-state entries, at 8 bytes a value.
+func (e *Engine) bytesPerPattern() float64 {
+	d := e.cfg.Dims
+	return 8 * float64(e.cfg.PartialsBuffers*d.CategoryCount*d.StateCount+
+		e.cfg.ScaleBuffers+e.cfg.TipCount)
+}
+
+// migrationCostSeconds estimates the wall time of moving from the current
+// boundaries to newHi: patterns crossing a boundary between different nodes
+// are charged against the measured link bandwidth of the remote side
+// (assumedLinkBandwidth when unmeasured). On-host moves are free at this
+// model's resolution.
+func (e *Engine) migrationCostSeconds(newHi []int) float64 {
+	r := e.reb
+	bpp := e.bytesPerPattern()
+	var cost float64
+	for b := 0; b < len(e.subs)-1; b++ {
+		if r.nodes[b] == r.nodes[b+1] {
+			continue
+		}
+		moved := newHi[b] - e.hi[b]
+		if moved < 0 {
+			moved = -moved
+		}
+		if moved == 0 {
+			continue
+		}
+		bw := 0.0
+		if lr, ok := e.subs[b].(LinkReporter); ok && lr.LinkBandwidth() > 0 {
+			bw = lr.LinkBandwidth()
+		}
+		if lr, ok := e.subs[b+1].(LinkReporter); ok && lr.LinkBandwidth() > 0 {
+			bw = lr.LinkBandwidth()
+		}
+		if bw <= 0 {
+			bw = assumedLinkBandwidth
+		}
+		cost += float64(moved) * bpp / bw
+	}
+	return cost
+}
+
 // maybeRebalance runs after a successful UpdatePartials batch with e.mu
-// held. At interval boundaries it computes the throughput-proportional
-// target partition and, when the predicted speedup clears the hysteresis
-// threshold, migrates the boundary spans and adopts the new partition.
+// held. At interval boundaries it computes the candidate target partitions
+// — intra-node always, global only when its extra speedup amortizes the
+// cross-node transfer cost — and, when the chosen target's predicted
+// speedup clears the hysteresis threshold, migrates the boundary spans and
+// adopts the new partition. With all backends on one node the intra-node
+// target IS the global partition, so the flat behavior is unchanged.
 func (e *Engine) maybeRebalance() error {
 	r := e.reb
 	if !r.due() {
@@ -188,8 +382,22 @@ func (e *Engine) maybeRebalance() error {
 		tstart = tr.Now()
 	}
 	p := e.cfg.Dims.PatternCount
-	newLo, newHi := partition(p, r.ewma)
+	newLo, newHi := r.intraNodeTarget(e.lo, e.hi)
 	speedup := r.predictSpeedup(e.lo, e.hi, newLo, newHi)
+	cross := false
+	var cost float64
+	if r.multiNode() {
+		gLo, gHi := partition(p, r.ewma)
+		if gSpeed := r.predictSpeedup(e.lo, e.hi, gLo, gHi); gSpeed > speedup && gSpeed >= r.threshold {
+			c := e.migrationCostSeconds(gHi)
+			saved := r.savedSecondsPerBatch(e.lo, e.hi, gLo, gHi) -
+				r.savedSecondsPerBatch(e.lo, e.hi, newLo, newHi)
+			if saved*float64(r.horizon) > c {
+				newLo, newHi, speedup = gLo, gHi, gSpeed
+				cross, cost = true, c
+			}
+		}
+	}
 	if speedup < r.threshold {
 		return nil
 	}
@@ -208,6 +416,9 @@ func (e *Engine) maybeRebalance() error {
 		return nil
 	}
 	r.rebalances++
+	if cross {
+		r.crossNode++
+	}
 	r.migrated += moved
 	r.events = append(r.events, RebalanceEvent{
 		Batch:            r.batch,
@@ -215,6 +426,8 @@ func (e *Engine) maybeRebalance() error {
 		NewHi:            append([]int(nil), newHi...),
 		Migrated:         moved,
 		PredictedSpeedup: speedup,
+		CrossNode:        cross,
+		CostSeconds:      cost,
 	})
 	if len(r.events) > maxEvents {
 		r.events = r.events[len(r.events)-maxEvents:]
@@ -308,12 +521,13 @@ func (e *Engine) RebalanceStats() (RebalanceStats, bool) {
 	}
 	r := e.reb
 	return RebalanceStats{
-		Batches:          r.batch,
-		Rebalances:       r.rebalances,
-		PatternsMigrated: r.migrated,
-		Throughput:       append([]float64(nil), r.ewma...),
-		Lo:               append([]int(nil), e.lo...),
-		Hi:               append([]int(nil), e.hi...),
-		Events:           append([]RebalanceEvent(nil), r.events...),
+		Batches:             r.batch,
+		Rebalances:          r.rebalances,
+		CrossNodeRebalances: r.crossNode,
+		PatternsMigrated:    r.migrated,
+		Throughput:          append([]float64(nil), r.ewma...),
+		Lo:                  append([]int(nil), e.lo...),
+		Hi:                  append([]int(nil), e.hi...),
+		Events:              append([]RebalanceEvent(nil), r.events...),
 	}, true
 }

@@ -204,7 +204,7 @@ func (c *Calculator) rebuild() error {
 	if c.key.Single {
 		flags |= gobeagle.FlagPrecisionSingle
 	}
-	inst, err := gobeagle.NewInstance(gobeagle.Config{
+	cfg := gobeagle.Config{
 		TipCount:        n * c.key.Tips,
 		PartialsBuffers: n*c.key.Tips + n*(c.key.Tips-1),
 		MatrixBuffers:   n * c.matStride(),
@@ -216,7 +216,14 @@ func (c *Calculator) rebuild() error {
 		ResourceID:      0,
 		Flags:           flags,
 		Threads:         c.opts.Threads,
-	})
+	}
+	var inst *gobeagle.Instance
+	var err error
+	if len(c.opts.Workers) > 0 {
+		inst, err = gobeagle.NewDistributedInstance(cfg, c.opts.Workers, []int{0}, nil)
+	} else {
+		inst, err = gobeagle.NewInstance(cfg)
+	}
 	if err != nil {
 		return err
 	}

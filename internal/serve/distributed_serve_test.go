@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"gobeagle/internal/cpuimpl"
+	"gobeagle/internal/engine"
+	"gobeagle/internal/remoteimpl"
+)
+
+// TestServedDistributedBitIdentical wires Options.Workers (the beagled
+// -workers flag) end to end: pooled calculators shard their patterns across
+// an in-process beagleworker and the served log likelihood must stay
+// bit-identical to the local-only pooled path.
+func TestServedDistributedBitIdentical(t *testing.T) {
+	worker, err := remoteimpl.NewWorker(remoteimpl.WorkerOptions{
+		Builder: func(g remoteimpl.Geometry) (engine.Engine, error) {
+			return cpuimpl.New(g.Config(), cpuimpl.Serial)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		worker.Serve(ctx, ln)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+
+	local := newTestServer(t, nil)
+	dist := newTestServer(t, func(o *Options) { o.Workers = []string{ln.Addr().String()} })
+
+	for seed := int64(0); seed < 3; seed++ {
+		req := testRequest(6, 120, 40+seed, seed%2 == 0)
+		req.SiteLogLikelihoods = true
+		want := evaluate(t, local, req)
+		got := evaluate(t, dist, req)
+		if got.LogLikelihood != want.LogLikelihood {
+			t.Fatalf("seed %d: distributed served lnL %v != local %v (must be bit-identical)",
+				seed, got.LogLikelihood, want.LogLikelihood)
+		}
+		for i := range want.SiteLogLikelihoods {
+			if got.SiteLogLikelihoods[i] != want.SiteLogLikelihoods[i] {
+				t.Fatalf("seed %d: site %d differs", seed, i)
+			}
+		}
+	}
+}

@@ -47,6 +47,13 @@ func (t *TokenBuckets) Allow(tenant string, now time.Time) (ok bool, retryAfter 
 	if !exists {
 		if len(t.m) >= maxTenants {
 			t.prune(now)
+			// prune is best-effort: under sustained traffic from more than
+			// maxTenants distinct tenants no bucket is at full burst and
+			// nothing was deleted. The cap is a hard bound, not a hint —
+			// evict the stalest buckets until the new tenant fits.
+			for len(t.m) >= maxTenants {
+				t.evictStalest()
+			}
 		}
 		b = &bucket{tokens: t.burst, last: now}
 		t.m[tenant] = b
@@ -75,5 +82,23 @@ func (t *TokenBuckets) prune(now time.Time) {
 		if tokens >= t.burst {
 			delete(t.m, k)
 		}
+	}
+}
+
+// evictStalest removes the least recently touched bucket (ties broken by
+// key, so the choice does not depend on map iteration order). Forgetting a
+// drained bucket regrants that tenant its burst, which is the acceptable
+// cost of a hard memory bound. Called with the lock held on a non-empty map.
+func (t *TokenBuckets) evictStalest() {
+	var victim string
+	var found bool
+	for k, b := range t.m {
+		if !found || b.last.Before(t.m[victim].last) ||
+			(b.last.Equal(t.m[victim].last) && k < victim) {
+			victim, found = k, true
+		}
+	}
+	if found {
+		delete(t.m, victim)
 	}
 }

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestQuotaMapHardBound hammers the bucket table with far more distinct,
+// permanently-active tenants than maxTenants and requires the map to stay
+// at the cap. This is the regression test for the unbounded-growth bug:
+// prune only deletes buckets idle back to full burst, so under sustained
+// unique-tenant traffic it deleted nothing while every new tenant was still
+// inserted.
+func TestQuotaMapHardBound(t *testing.T) {
+	// Burst 1 and a near-zero refill rate: one request drains each bucket
+	// and no bucket ever refills within the test, so prune can never delete
+	// anything — exactly the adversarial case that used to grow unboundedly.
+	tb := NewTokenBuckets(0.001, 1)
+	now := time.Unix(0, 0)
+	for i := 0; i < 3*maxTenants; i++ {
+		now = now.Add(time.Millisecond)
+		tb.Allow(fmt.Sprintf("tenant-%d", i), now)
+		if n := len(tb.m); n > maxTenants {
+			t.Fatalf("after %d distinct tenants the map holds %d entries (cap %d)", i+1, n, maxTenants)
+		}
+	}
+	if n := len(tb.m); n != maxTenants {
+		t.Fatalf("map holds %d entries, want exactly the cap %d", n, maxTenants)
+	}
+}
+
+// TestQuotaEvictionPrefersStalest pins which bucket the hard bound sacrifices:
+// the one untouched the longest.
+func TestQuotaEvictionPrefersStalest(t *testing.T) {
+	tb := NewTokenBuckets(0.001, 1) // refill too slow for prune to act; only eviction can make room
+	base := time.Unix(0, 0)
+	// Fill to the cap with drained buckets, each touched one ms after the
+	// previous, so tenant-0 is the stalest.
+	for i := 0; i < maxTenants; i++ {
+		tb.Allow(fmt.Sprintf("tenant-%d", i), base.Add(time.Duration(i)*time.Millisecond))
+	}
+	tb.Allow("newcomer", base.Add(time.Duration(maxTenants)*time.Millisecond))
+	if _, ok := tb.m["tenant-0"]; ok {
+		t.Fatal("stalest tenant survived the eviction")
+	}
+	if _, ok := tb.m["newcomer"]; !ok {
+		t.Fatal("newcomer was not inserted")
+	}
+	if _, ok := tb.m["tenant-1"]; !ok {
+		t.Fatal("eviction removed more than the stalest bucket")
+	}
+}
+
+// TestQuotaPruneAtCap pins prune's intended semantics: buckets that have
+// refilled to full burst are dropped (losslessly — a fresh bucket is
+// identical), active ones survive.
+func TestQuotaPruneAtCap(t *testing.T) {
+	tb := NewTokenBuckets(10, 5)
+	base := time.Unix(0, 0)
+	for i := 0; i < maxTenants; i++ {
+		tb.Allow(fmt.Sprintf("tenant-%d", i), base)
+	}
+	// An hour later every bucket has long refilled to burst; the next new
+	// tenant triggers prune, which must clear them all rather than evict.
+	later := base.Add(time.Hour)
+	tb.Allow("fresh", later)
+	if n := len(tb.m); n != 1 {
+		t.Fatalf("prune left %d buckets; refilled buckets must all be dropped", n)
+	}
+	if _, ok := tb.m["fresh"]; !ok {
+		t.Fatal("new tenant missing after prune")
+	}
+}
+
+// TestQuotaRetryAfterBounds pins the 429 Retry-After contract: a rejection
+// never reports a zero wait, and deeper token deficits report monotonically
+// longer waits.
+func TestQuotaRetryAfterBounds(t *testing.T) {
+	tb := NewTokenBuckets(2, 3) // 2 tokens/sec, burst 3
+	now := time.Unix(100, 0)
+	for i := 0; i < 3; i++ {
+		ok, retry := tb.Allow("t", now)
+		if !ok || retry != 0 {
+			t.Fatalf("burst request %d: ok=%v retry=%v", i, ok, retry)
+		}
+	}
+	var prev time.Duration
+	for i := 0; i < 5; i++ {
+		ok, retry := tb.Allow("t", now)
+		if ok {
+			t.Fatalf("rejection %d admitted", i)
+		}
+		if retry <= 0 {
+			t.Fatalf("rejection %d: Retry-After %v must be positive — a 0 tells the client to retry immediately and busy-loop", i, retry)
+		}
+		if retry < prev {
+			t.Fatalf("rejection %d: Retry-After %v shrank from %v despite a deeper deficit", i, retry, prev)
+		}
+		prev = retry
+	}
+	// First rejection at exactly zero tokens needs 1/rate seconds.
+	tb2 := NewTokenBuckets(2, 1)
+	tb2.Allow("u", now)
+	_, retry := tb2.Allow("u", now)
+	if want := 500 * time.Millisecond; retry != want {
+		t.Fatalf("Retry-After %v, want %v at a one-token deficit and 2 tokens/sec", retry, want)
+	}
+	// After waiting the advertised time, the request must be admitted.
+	ok, _ := tb2.Allow("u", now.Add(retry))
+	if !ok {
+		t.Fatal("request rejected after waiting the advertised Retry-After")
+	}
+}

@@ -63,26 +63,42 @@ type Options struct {
 	// RequestTimeout bounds how long a request may wait for its batch
 	// before answering 503.
 	RequestTimeout time.Duration
+	// ReadHeaderTimeout bounds how long a client may take to finish sending
+	// request headers before the connection is dropped; without it a
+	// slowloris client trickling one header byte at a time pins a
+	// connection (and its goroutine) forever.
+	ReadHeaderTimeout time.Duration
+	// IdleTimeout closes keep-alive connections that have sat idle this
+	// long, bounding the connection table under churny clients.
+	IdleTimeout time.Duration
 	// DisablePool evaluates every request on a freshly created, immediately
 	// finalized instance — the one-instance-per-request ablation the serve
 	// benchmark compares against. Admission control and quotas still apply.
 	DisablePool bool
+	// Workers lists beagleworker addresses. When non-empty, pooled
+	// calculators evaluate on a distributed instance whose site patterns
+	// are sharded across the local host and these worker processes (the
+	// beagled -workers flag). The workers must be reachable when the first
+	// batch builds its instance.
+	Workers []string
 }
 
 // DefaultOptions returns the daemon's default tuning.
 func DefaultOptions() Options {
 	return Options{
-		Window:         2 * time.Millisecond,
-		MaxBatch:       32,
-		InitialSlots:   4,
-		QueueDepth:     1024,
-		MaxCalculators: 8,
-		MaxTips:        256,
-		MaxPatterns:    8192,
-		Flags:          gobeagle.FlagThreadingThreadPoolHybrid,
-		QuotaRPS:       0,
-		QuotaBurst:     64,
-		RequestTimeout: 30 * time.Second,
+		Window:            2 * time.Millisecond,
+		MaxBatch:          32,
+		InitialSlots:      4,
+		QueueDepth:        1024,
+		MaxCalculators:    8,
+		MaxTips:           256,
+		MaxPatterns:       8192,
+		Flags:             gobeagle.FlagThreadingThreadPoolHybrid,
+		QuotaRPS:          0,
+		QuotaBurst:        64,
+		RequestTimeout:    30 * time.Second,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 }
 
@@ -140,6 +156,12 @@ func NewServer(opts Options) *Server {
 	}
 	if opts.RequestTimeout <= 0 {
 		opts.RequestTimeout = def.RequestTimeout
+	}
+	if opts.ReadHeaderTimeout <= 0 {
+		opts.ReadHeaderTimeout = def.ReadHeaderTimeout
+	}
+	if opts.IdleTimeout <= 0 {
+		opts.IdleTimeout = def.IdleTimeout
 	}
 	tr := trace.New()
 	tr.SetEnabled(true)
@@ -465,7 +487,11 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, ready chan<- n
 	if ready != nil {
 		ready <- ln.Addr()
 	}
-	srv := &http.Server{Handler: s}
+	srv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: s.opts.ReadHeaderTimeout,
+		IdleTimeout:       s.opts.IdleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {

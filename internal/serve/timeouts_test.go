@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestHTTPTimeoutDefaults pins that NewServer fills the anti-slowloris
+// timeouts: a zero-valued Options must not produce an http.Server that waits
+// on client headers forever.
+func TestHTTPTimeoutDefaults(t *testing.T) {
+	s := NewServer(Options{})
+	defer s.Close()
+	o := s.Options()
+	if o.ReadHeaderTimeout <= 0 {
+		t.Fatalf("ReadHeaderTimeout = %v, must default to a positive bound", o.ReadHeaderTimeout)
+	}
+	if o.IdleTimeout <= 0 {
+		t.Fatalf("IdleTimeout = %v, must default to a positive bound", o.IdleTimeout)
+	}
+	s2 := NewServer(Options{ReadHeaderTimeout: time.Second, IdleTimeout: 3 * time.Second})
+	defer s2.Close()
+	if o2 := s2.Options(); o2.ReadHeaderTimeout != time.Second || o2.IdleTimeout != 3*time.Second {
+		t.Fatalf("explicit timeouts not honored: %+v", o2)
+	}
+}
+
+// TestSlowlorisConnectionDropped is the regression test for the untimeouted
+// http.Server: a client that opens a connection, trickles a partial request
+// line and then stalls must be disconnected once ReadHeaderTimeout elapses,
+// instead of pinning a connection and goroutine forever.
+func TestSlowlorisConnectionDropped(t *testing.T) {
+	s := NewServer(Options{ReadHeaderTimeout: 200 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe(ctx, "127.0.0.1:0", ready) }()
+	addr := <-ready
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("POST /v1/evaluate HTTP/1.1\r\nHost: x\r\nX-Slow:")); err != nil {
+		t.Fatal(err)
+	}
+	// Stall mid-header. The server must hang up on its own; the read
+	// deadline here is only the test's failure bound, far above the
+	// configured 200 ms header timeout.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("stalled-header connection produced a response body")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server never dropped the stalled-header connection (slowloris regression)")
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("connection dropped only after %v", waited)
+	}
+
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -62,6 +62,9 @@ func spanArgs(s Span) map[string]any {
 		args["patterns_moved"] = s.Arg0
 	case KindMatrices, KindDerivatives:
 		args["matrices"] = s.Arg0
+	case KindRPC:
+		args["op"] = s.Arg0
+		args["bytes"] = s.Arg1
 	}
 	if len(args) == 0 {
 		return nil
@@ -147,6 +150,8 @@ func laneName(layer Layer, lane int) string {
 		return "queue " + strconv.Itoa(lane)
 	case LayerMulti:
 		return "backend " + strconv.Itoa(lane)
+	case LayerNet:
+		return "link " + strconv.Itoa(lane)
 	default:
 		return "lane " + strconv.Itoa(lane)
 	}

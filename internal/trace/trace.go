@@ -73,6 +73,11 @@ const (
 	// KindServeWait is the queueing delay of one served request from
 	// admission to the start of its batch (Lane = slot index).
 	KindServeWait
+	// KindRPC is one remote-engine call round trip on the wire: request
+	// serialization, network transfer both ways and the worker-side
+	// execution (Lane = the remote backend's trace lane, Arg0 = the wire
+	// operation code, Arg1 = bytes moved in both directions).
+	KindRPC
 	numKinds
 )
 
@@ -107,6 +112,8 @@ func (k Kind) String() string {
 		return "serve batch"
 	case KindServeWait:
 		return "serve wait"
+	case KindRPC:
+		return "rpc"
 	default:
 		return "unknown"
 	}
@@ -123,6 +130,7 @@ const (
 	LayerMulti
 	LayerStorage
 	LayerServe
+	LayerNet
 	numLayers
 )
 
@@ -142,6 +150,8 @@ func (l Layer) String() string {
 		return "storage"
 	case LayerServe:
 		return "serve"
+	case LayerNet:
+		return "network"
 	default:
 		return "unknown"
 	}
@@ -160,6 +170,8 @@ func (k Kind) Layer() Layer {
 		return LayerMulti
 	case KindServeBatch, KindServeWait:
 		return LayerServe
+	case KindRPC:
+		return LayerNet
 	default:
 		return LayerStorage
 	}

@@ -19,6 +19,7 @@ mkdir -p "$OUT"
 echo "== regenerating baselines into $OUT"
 go -C "$ROOT" run ./cmd/beaglebench -experiment fig4smoke -json "$OUT" >/dev/null
 go -C "$ROOT" run ./cmd/beaglebench -experiment rebalance -json "$OUT" >/dev/null
+go -C "$ROOT" run ./cmd/beaglebench -experiment distshard -json "$OUT" >/dev/null
 go -C "$ROOT" run ./cmd/beaglebench -experiment mcmcreuse -json "$OUT" >/dev/null
 go -C "$ROOT" run ./cmd/beaglebench -experiment serve -json "$OUT" >/dev/null
 ls -l "$OUT"

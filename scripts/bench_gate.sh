@@ -8,7 +8,7 @@
 #
 # Usage: bench_gate.sh [section]
 #   With no argument every gated experiment runs; with a section name
-#   (fig4smoke, rebalance, mcmcreuse, serve) only that gate runs.
+#   (fig4smoke, rebalance, distshard, mcmcreuse, serve) only that gate runs.
 #   With BENCH_GATE_JSON=dir set, each gated run also writes its
 #   BENCH_<experiment>.json there (the CI artifact), so CI gates and
 #   produces the report in a single run.
@@ -52,6 +52,17 @@ fi
 if wanted rebalance; then
     section "gate rebalance"
     go -C "$ROOT" run ./cmd/beaglebench -experiment rebalance -compare "$BASELINES" -tolerance 0.30 $JSON_ARGS >/dev/null
+fi
+
+# distshard compares distributed sharding over loopback workers against the
+# local multi-device and single-engine baselines. On a small host the ratios
+# sit near 1.0 and the remote phase just below it (wire overhead, no extra
+# cores), so the 50% tolerance gates the failure that matters: the RPC layer
+# regressing until the sharded path collapses (speedup toward 0.2-0.3). The
+# experiment also hard-fails on any non-bit-identical root, tolerance aside.
+if wanted distshard; then
+    section "gate distshard"
+    go -C "$ROOT" run ./cmd/beaglebench -experiment distshard -compare "$BASELINES" -tolerance 0.50 $JSON_ARGS >/dev/null
 fi
 
 # mcmcreuse speedups are wall-clock ratios on shared CI hosts; the baseline
