@@ -3,11 +3,18 @@
 // by a pool of warm, slot-carved instances that micro-batch compatible
 // requests into wide scheduler submissions.
 //
-//	POST /v1/evaluate  evaluate a tree+model+alignment (JSON in/out)
-//	GET  /v1/health    liveness, uptime and pool summary
-//	GET  /metrics      Prometheus text metrics (beagled_* families)
-//	GET  /debug/vars   expvar-style JSON variables
-//	GET  /debug/trace  serve-layer span summary
+//	POST /v1/evaluate      evaluate a tree+model+alignment (JSON in/out)
+//	GET  /v1/health        liveness, uptime and pool summary
+//	GET  /metrics          Prometheus text metrics (beagled_* families)
+//	GET  /cluster/metrics  federated metrics: self plus every -workers scrape
+//	GET  /debug/vars       expvar-style JSON variables
+//	GET  /debug/trace      serve-layer span summary
+//	GET  /debug/trace.json stitched Chrome trace (with -trace: serve + engines + workers)
+//	GET  /debug/slow       slowest retained requests with phase timings
+//	GET  /debug/pprof/     runtime profiling (only with -pprof)
+//
+// Every /v1/evaluate response echoes X-Beagle-Request-Id, honoring a
+// client-supplied value and generating one otherwise, on rejections too.
 //
 // The daemon exits gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests drain, and every pooled instance is finalized.
@@ -17,7 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -45,9 +52,21 @@ func main() {
 		threads      = flag.Int("threads", 0, "worker threads per pooled instance (0 = all cores)")
 		noPool       = flag.Bool("no-pool", false, "ablation: evaluate every request on a fresh instance")
 		workersArg   = flag.String("workers", "", "comma-separated beagleworker addresses; pooled instances shard patterns across the local host and these workers")
+		traceOn      = flag.Bool("trace", false, "propagate span tracing into pooled instances and worker processes (stitched /debug/trace.json export)")
+		pprofOn      = flag.Bool("pprof", false, "expose /debug/pprof/ runtime profiling endpoints")
+		slowN        = flag.Int("slow", 0, "slowest requests retained for /debug/slow (0 = default)")
+		logJSON      = flag.Bool("log-json", false, "emit JSON structured logs instead of text")
 		selfcheck    = flag.Bool("selfcheck", false, "boot in-process, verify a served request against direct evaluation, exit")
 	)
 	flag.Parse()
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler).With("component", "beagled")
 
 	opts := serve.DefaultOptions()
 	opts.Window = *window
@@ -61,13 +80,22 @@ func main() {
 	opts.QuotaBurst = *burst
 	opts.Threads = *threads
 	opts.DisablePool = *noPool
+	opts.Trace = *traceOn
+	opts.Pprof = *pprofOn
+	opts.SlowN = *slowN
+	opts.Logger = logger
 	if *workersArg != "" {
 		opts.Workers = strings.Split(*workersArg, ",")
 	}
 
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err.Error())
+		os.Exit(1)
+	}
+
 	if *selfcheck {
 		if err := runSelfcheck(opts); err != nil {
-			log.Fatalf("beagled: selfcheck failed: %v", err)
+			fatal("selfcheck failed", err)
 		}
 		fmt.Println("beagled: selfcheck ok")
 		return
@@ -83,21 +111,23 @@ func main() {
 
 	select {
 	case bound := <-ready:
-		log.Printf("beagled: serving on http://%s (window=%v max-batch=%d pool=%d)",
-			bound, opts.Window, opts.MaxBatch, opts.MaxCalculators)
+		logger.Info("serving", "url", "http://"+bound.String(),
+			"window", opts.Window.String(), "max_batch", opts.MaxBatch,
+			"pool", opts.MaxCalculators, "workers", len(opts.Workers),
+			"trace", opts.Trace, "pprof", opts.Pprof)
 		if *portFile != "" {
 			if err := os.WriteFile(*portFile, []byte(bound.String()+"\n"), 0o644); err != nil {
-				log.Fatalf("beagled: write port file: %v", err)
+				fatal("write port file", err)
 			}
 		}
 	case err := <-errc:
-		log.Fatalf("beagled: %v", err)
+		fatal("listen", err)
 	}
 
 	if err := <-errc; err != nil {
-		log.Fatalf("beagled: %v", err)
+		fatal("serve", err)
 	}
-	log.Printf("beagled: drained and shut down")
+	logger.Info("drained and shut down")
 }
 
 // selfcheckRequest is a small fixed problem exercised by -selfcheck.

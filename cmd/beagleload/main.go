@@ -5,6 +5,12 @@
 // local dedicated instance via the same serving code path, and any response
 // that is not bit-identical fails the run — this is the assertion the CI
 // serve-smoke job relies on.
+//
+// Every request carries a unique X-Beagle-Request-Id; the daemon must echo
+// it verbatim on every response, success or rejection, and any mismatch
+// fails the run. The ids double as trace correlators: a request slow in the
+// report can be looked up in the daemon's /debug/slow sampler and its spans
+// found in the stitched /debug/trace.json export by the same id.
 package main
 
 import (
@@ -13,13 +19,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -40,8 +47,21 @@ func main() {
 		tenant      = flag.String("tenant", "loadgen", "X-Beagle-Tenant header value")
 		verify      = flag.Bool("verify", false, "verify every response is bit-identical to direct local evaluation")
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
+		logJSON     = flag.Bool("log-json", false, "emit JSON structured logs instead of text")
 	)
 	flag.Parse()
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler).With("component", "beagleload")
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	problems := make([][]byte, *shapes)
 	want := make([]float64, *shapes)
@@ -49,11 +69,11 @@ func main() {
 		req := generateRequest(*tips, *sites, *seed+int64(i))
 		body, err := json.Marshal(req)
 		if err != nil {
-			log.Fatalf("beagleload: marshal: %v", err)
+			fatal("marshal", "err", err.Error())
 		}
 		problems[i] = body
 		if *verify {
-			want[i] = directLogLikelihood(req)
+			want[i] = directLogLikelihood(logger, req)
 		}
 	}
 
@@ -65,7 +85,8 @@ func main() {
 
 	client := &http.Client{Timeout: 60 * time.Second}
 	base := strings.TrimRight(*url, "/")
-	verifyFailures := 0
+	runID := time.Now().UnixNano()
+	var verifyFailures, echoMismatches atomic.Int64
 	rep := loadgen.Run(ctx, loadgen.Options{
 		Concurrency:    *concurrency,
 		Requests:       *requests,
@@ -77,21 +98,35 @@ func main() {
 		if err != nil {
 			return loadgen.Result{Err: err}
 		}
+		// One unique id per attempt: the daemon must echo it on every
+		// response path, rejections included.
+		reqID := fmt.Sprintf("load-%x-%d-%d", runID, worker, seq)
 		hreq.Header.Set("Content-Type", "application/json")
 		hreq.Header.Set("X-Beagle-Tenant", *tenant)
+		hreq.Header.Set(serve.RequestIDHeader, reqID)
 		start := time.Now()
 		resp, err := client.Do(hreq)
 		if err != nil {
 			return loadgen.Result{Err: err}
 		}
 		defer resp.Body.Close()
+		if echoed := resp.Header.Get(serve.RequestIDHeader); echoed != reqID {
+			echoMismatches.Add(1)
+			return loadgen.Result{Err: fmt.Errorf("request id not echoed: sent %q, got %q (HTTP %d)",
+				reqID, echoed, resp.StatusCode)}
+		}
 		var body serve.EvaluateResponse
 		if resp.StatusCode == http.StatusOK {
 			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 				return loadgen.Result{Err: err}
 			}
+			if body.RequestID != reqID {
+				echoMismatches.Add(1)
+				return loadgen.Result{Err: fmt.Errorf("request id not echoed in body: sent %q, got %q",
+					reqID, body.RequestID)}
+			}
 			if *verify && body.LogLikelihood != want[shape] {
-				verifyFailures++
+				verifyFailures.Add(1)
 				return loadgen.Result{Err: fmt.Errorf("shape %d: served lnL %v != direct %v",
 					shape, body.LogLikelihood, want[shape])}
 			}
@@ -122,9 +157,13 @@ func main() {
 			rep.Max.Round(time.Microsecond))
 	}
 
+	if n := echoMismatches.Load(); n > 0 {
+		fatal("request ids were not echoed verbatim", "mismatches", n)
+	}
+	fmt.Printf("beagleload: all request ids echoed verbatim\n")
 	if *verify {
-		if verifyFailures > 0 {
-			log.Fatalf("beagleload: %d responses were NOT bit-identical to direct evaluation", verifyFailures)
+		if n := verifyFailures.Load(); n > 0 {
+			fatal("responses were NOT bit-identical to direct evaluation", "failures", n)
 		}
 		fmt.Printf("beagleload: all %d OK responses bit-identical to direct evaluation\n", rep.Codes[http.StatusOK])
 	}
@@ -136,7 +175,7 @@ func main() {
 		os.Exit(1)
 	}
 	if rep.Codes[http.StatusOK] == 0 {
-		log.Fatalf("beagleload: no successful responses")
+		fatal("no successful responses")
 	}
 }
 
@@ -198,14 +237,15 @@ func randomNewick(rng *rand.Rand, names []string) string {
 
 // directLogLikelihood evaluates one request on the one-instance-per-request
 // path, the bit-identity reference.
-func directLogLikelihood(req *serve.EvaluateRequest) float64 {
+func directLogLikelihood(logger *slog.Logger, req *serve.EvaluateRequest) float64 {
 	opts := serve.DefaultOptions()
 	opts.DisablePool = true
 	s := serve.NewServer(opts)
 	defer s.Close()
 	resp, code, err := s.Evaluate(context.Background(), req)
 	if err != nil {
-		log.Fatalf("beagleload: direct reference evaluation failed (HTTP %d): %v", code, err)
+		logger.Error("direct reference evaluation failed", "status", code, "err", err.Error())
+		os.Exit(1)
 	}
 	return resp.LogLikelihood
 }

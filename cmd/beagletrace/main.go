@@ -1,14 +1,21 @@
 // Command beagletrace validates a Chrome trace-event JSON file produced by
-// the library's span tracer (Instance.TraceJSON, or the -trace flag of
-// beaglebench, beaglemcmc and genomictest). It checks the document's schema
-// — a traceEvents array of complete "X" events with name/ts/dur/pid/tid and
-// "M" metadata naming every process — and prints a per-layer span summary.
-// CI's trace-smoke step uses it to assert a captured trace really contains
-// spans from the expected layers.
+// the library's span tracer (Instance.TraceJSON, beagled's /debug/trace.json,
+// or the -trace flag of beaglebench, beaglemcmc and genomictest). It checks
+// the document's schema — a traceEvents array of complete "X" events with
+// name/ts/dur/pid/tid and "M" metadata naming every process — and prints a
+// per-layer span summary. CI's trace-smoke and distributed-smoke steps use it
+// to assert a captured trace really contains spans from the expected layers.
+//
+// A layer name in -require-layers ending in '*' matches any process whose
+// name starts with the prefix — "remote worker*" asserts that at least one
+// stitched worker process track is present without pinning its address.
+// -require-stitch N asserts that at least N distinct request ids (the
+// args.req span field) have spans in two or more processes, i.e. that
+// requests were actually followed across process boundaries.
 //
 // Usage:
 //
-//	beagletrace [-require-layers "scheduler,device (modeled clock)"] [-min-spans N] trace.json
+//	beagletrace [-require-layers "scheduler,device (modeled clock)"] [-min-spans N] [-require-stitch N] trace.json
 package main
 
 import (
@@ -38,8 +45,9 @@ type traceDoc struct {
 }
 
 func main() {
-	requireLayers := flag.String("require-layers", "", "comma-separated process (layer) names that must have at least one span")
+	requireLayers := flag.String("require-layers", "", "comma-separated process (layer) names that must have at least one span; a trailing '*' prefix-matches")
 	minSpans := flag.Int("min-spans", 1, "minimum number of complete (ph \"X\") span events")
+	requireStitch := flag.Int("require-stitch", 0, "minimum distinct request ids (args.req) that must have spans in at least two processes")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -69,9 +77,20 @@ func main() {
 	if *requireLayers != "" {
 		for _, want := range strings.Split(*requireLayers, ",") {
 			want = strings.TrimSpace(want)
-			if want != "" && spansPerLayer[want] == 0 {
+			if want == "" {
+				continue
+			}
+			if !layerPresent(spansPerLayer, want) {
 				errs = append(errs, fmt.Sprintf("required layer %q has no spans", want))
 			}
+		}
+	}
+	if *requireStitch > 0 {
+		stitched := countStitched(doc.TraceEvents)
+		if stitched < *requireStitch {
+			errs = append(errs, fmt.Sprintf("only %d request ids span multiple processes, need at least %d", stitched, *requireStitch))
+		} else {
+			fmt.Printf("  %d request ids stitched across processes\n", stitched)
 		}
 	}
 
@@ -161,6 +180,47 @@ func checkSpans(events []rawEvent, layerByPid map[int]string) (map[string]int, i
 		spansPerLayer[layer]++
 	}
 	return spansPerLayer, count, errs
+}
+
+// layerPresent reports whether a required layer name — exact, or a prefix
+// when it ends in '*' — has at least one span.
+func layerPresent(spansPerLayer map[string]int, want string) bool {
+	if prefix, ok := strings.CutSuffix(want, "*"); ok {
+		for layer, n := range spansPerLayer {
+			if n > 0 && strings.HasPrefix(layer, prefix) {
+				return true
+			}
+		}
+		return false
+	}
+	return spansPerLayer[want] > 0
+}
+
+// countStitched counts distinct request ids (the args.req field request-
+// scoped spans carry) that appear in spans of two or more processes — the
+// definition of a successfully stitched request.
+func countStitched(events []rawEvent) int {
+	pidsByReq := map[float64]map[int]bool{}
+	for _, e := range events {
+		if e.Ph != "X" || e.Pid == nil || e.Args == nil {
+			continue
+		}
+		req, ok := e.Args["req"].(float64)
+		if !ok || req == 0 {
+			continue
+		}
+		if pidsByReq[req] == nil {
+			pidsByReq[req] = map[int]bool{}
+		}
+		pidsByReq[req][*e.Pid] = true
+	}
+	n := 0
+	for _, pids := range pidsByReq {
+		if len(pids) >= 2 {
+			n++
+		}
+	}
+	return n
 }
 
 func fatal(err error) {

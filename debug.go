@@ -41,6 +41,21 @@ func (s *DebugServer) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// DebugOption customizes the server started by ServeDebug.
+type DebugOption func(*debugConfig)
+
+type debugConfig struct {
+	pprof bool
+}
+
+// WithPprof exposes the net/http/pprof handlers (/debug/pprof/...) on the
+// debug server. Off by default: the profiling endpoints reveal runtime
+// internals and a CPU profile pauses are not free, so they are strictly
+// opt-in.
+func WithPprof() DebugOption {
+	return func(c *debugConfig) { c.pprof = true }
+}
+
 // ServeDebug starts an opt-in debug HTTP server for this instance on addr
 // (e.g. "localhost:6060", or "127.0.0.1:0" to pick a free port — read it
 // back from Addr). It serves:
@@ -49,17 +64,26 @@ func (s *DebugServer) Shutdown(ctx context.Context) error {
 //	/debug/vars       expvar-style JSON snapshot of the same counters
 //	/debug/rebalance  the multi-device repartition history (JSON)
 //	/debug/trace      per-kind span counts and durations from the tracer
+//	/debug/pprof/     runtime profiling (only with WithPprof)
 //
 // The handlers read the instance's telemetry and trace snapshots, which are
 // safe against concurrent recording; enable FlagTelemetry and FlagTrace (or
 // their runtime toggles) for the endpoints to show live data. The server is
 // for diagnostics on trusted networks — it has no authentication.
-func (in *Instance) ServeDebug(addr string) (*DebugServer, error) {
+func (in *Instance) ServeDebug(addr string, opts ...DebugOption) (*DebugServer, error) {
+	var cfg debugConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: metricsx.NewMux(instanceSource{in})}
+	var muxOpts []metricsx.MuxOption
+	if cfg.pprof {
+		muxOpts = append(muxOpts, metricsx.WithPprof())
+	}
+	srv := &http.Server{Handler: metricsx.NewMux(instanceSource{in}, muxOpts...)}
 	s := &DebugServer{srv: srv, ln: ln, done: make(chan struct{})}
 	go func() {
 		defer close(s.done)

@@ -39,6 +39,10 @@ type WorkerStats struct {
 	// client replayed its journal into a local fallback engine; results stay
 	// bit-identical but the shard now computes on the coordinator host.
 	FailedOver bool
+	// DebugAddr is the worker's advertised debug/metrics HTTP address,
+	// empty when the worker serves none. Coordinators scrape it to build a
+	// federated cluster metrics view.
+	DebugAddr string
 }
 
 // NewDistributedInstance creates a single instance whose site patterns are
@@ -190,6 +194,7 @@ func (in *Instance) RemoteStats() []WorkerStats {
 			BytesReceived: s.BytesReceived,
 			LinkBandwidth: s.LinkBandwidth,
 			FailedOver:    s.FailedOver,
+			DebugAddr:     re.DebugAddr(),
 		})
 	}
 	return out

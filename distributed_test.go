@@ -13,6 +13,7 @@ import (
 	"gobeagle/internal/remoteimpl"
 	"gobeagle/internal/seqgen"
 	"gobeagle/internal/substmodel"
+	"gobeagle/internal/trace"
 	"gobeagle/internal/tree"
 )
 
@@ -21,8 +22,10 @@ import (
 func startTestWorker(t *testing.T) (string, func()) {
 	t.Helper()
 	worker, err := remoteimpl.NewWorker(remoteimpl.WorkerOptions{
-		Builder: func(g remoteimpl.Geometry) (engine.Engine, error) {
-			return cpuimpl.New(g.Config(), cpuimpl.Serial)
+		Builder: func(g remoteimpl.Geometry, tr *trace.Tracer) (engine.Engine, error) {
+			cfg := g.Config()
+			cfg.Trace = tr
+			return cpuimpl.New(cfg, cpuimpl.Serial)
 		},
 	})
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"gobeagle/internal/engine"
 	"gobeagle/internal/multiimpl"
 	"gobeagle/internal/remoteimpl"
+	"gobeagle/internal/trace"
 )
 
 // The distshard experiment measures distributed pattern sharding over the
@@ -39,8 +40,10 @@ type DistShardRow struct {
 // address and a shutdown function.
 func distShardWorker() (string, func(), error) {
 	worker, err := remoteimpl.NewWorker(remoteimpl.WorkerOptions{
-		Builder: func(g remoteimpl.Geometry) (engine.Engine, error) {
-			return cpuimpl.New(g.Config(), cpuimpl.Serial)
+		Builder: func(g remoteimpl.Geometry, tr *trace.Tracer) (engine.Engine, error) {
+			cfg := g.Config()
+			cfg.Trace = tr
+			return cpuimpl.New(cfg, cpuimpl.Serial)
 		},
 	})
 	if err != nil {

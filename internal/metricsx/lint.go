@@ -1,0 +1,247 @@
+package metricsx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintProm structurally checks a Prometheus text exposition document the way
+// promlint would: metric and label names must be legal, every family needs a
+// TYPE header before its first sample (with HELP, when present, preceding
+// TYPE), families must be contiguous, label values must be properly quoted
+// and escaped, and no series may appear twice. It returns one human-readable
+// problem per violation; an empty slice means the document is clean. The
+// exporter's own tests and the live-scrape test in internal/serve run every
+// exposition surface through it, including the federated cluster view.
+func LintProm(r io.Reader) []string {
+	var problems []string
+	addf := func(line int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	type famState struct {
+		hasHelp bool
+		hasType bool
+		samples int
+		closed  bool
+	}
+	fams := map[string]*famState{}
+	fam := func(name string) *famState {
+		f, ok := fams[name]
+		if !ok {
+			f = &famState{}
+			fams[name] = f
+		}
+		return f
+	}
+	seenSeries := map[string]bool{}
+	cur := "" // family whose block is open
+
+	enter := func(name string, line int) *famState {
+		if name != cur {
+			if cur != "" {
+				fams[cur].closed = true
+			}
+			f := fam(name)
+			if f.closed {
+				addf(line, "family %q reappears after other families (interleaved ordering)", name)
+				f.closed = false
+			}
+			cur = name
+		}
+		return fams[name]
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r")
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# HELP "):
+			name, _, ok := splitHeader(line[len("# HELP "):])
+			if !ok || !validMetricName(name) {
+				addf(lineNo, "malformed HELP header %q", line)
+				continue
+			}
+			f := enter(name, lineNo)
+			if f.hasHelp {
+				addf(lineNo, "duplicate HELP for family %q", name)
+			}
+			if f.hasType {
+				addf(lineNo, "HELP for %q after its TYPE (HELP must come first)", name)
+			}
+			if f.samples > 0 {
+				addf(lineNo, "HELP for %q after its samples", name)
+			}
+			f.hasHelp = true
+		case strings.HasPrefix(line, "# TYPE "):
+			name, typ, ok := splitHeader(line[len("# TYPE "):])
+			if !ok || !validMetricName(name) {
+				addf(lineNo, "malformed TYPE header %q", line)
+				continue
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				addf(lineNo, "family %q has invalid type %q", name, typ)
+			}
+			f := enter(name, lineNo)
+			if f.hasType {
+				addf(lineNo, "duplicate TYPE for family %q", name)
+			}
+			if f.samples > 0 {
+				addf(lineNo, "TYPE for %q after its samples", name)
+			}
+			f.hasType = true
+		case strings.HasPrefix(line, "#"):
+			// Free-form comments are legal anywhere.
+		default:
+			name, series, err := parseSampleLine(line)
+			if err != nil {
+				addf(lineNo, "%v", err)
+				continue
+			}
+			f := enter(name, lineNo)
+			if !f.hasType {
+				addf(lineNo, "sample of %q before any TYPE header", name)
+				f.hasType = true // report once per family
+			}
+			if seenSeries[series] {
+				addf(lineNo, "duplicate series %q", series)
+			}
+			seenSeries[series] = true
+			f.samples++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("read: %v", err))
+	}
+	return problems
+}
+
+// validMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSampleLine validates one sample line ("name{labels} value [ts]") and
+// returns the metric name plus the series identity (name + label block).
+func parseSampleLine(line string) (name, series string, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name in sample %q", line)
+	}
+	rest := line[i:]
+	series = name
+	if strings.HasPrefix(rest, "{") {
+		end, perr := parseLabelBlock(rest)
+		if perr != nil {
+			return "", "", fmt.Errorf("sample %q: %v", line, perr)
+		}
+		series += rest[:end]
+		rest = rest[end:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return "", "", fmt.Errorf("sample %q: missing value separator", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return "", "", fmt.Errorf("sample %q: want value [timestamp], got %d fields", line, len(fields))
+	}
+	if _, perr := strconv.ParseFloat(fields[0], 64); perr != nil {
+		return "", "", fmt.Errorf("sample %q: invalid value %q", line, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, perr := strconv.ParseInt(fields[1], 10, 64); perr != nil {
+			return "", "", fmt.Errorf("sample %q: invalid timestamp %q", line, fields[1])
+		}
+	}
+	return name, series, nil
+}
+
+// parseLabelBlock validates a {k="v",...} block starting at s[0] == '{' and
+// returns the index just past the closing brace.
+func parseLabelBlock(s string) (int, error) {
+	i := 1
+	if i < len(s) && s[i] == '}' {
+		return i + 1, nil
+	}
+	for {
+		start := i
+		for i < len(s) && s[i] != '=' && s[i] != '}' && s[i] != ',' {
+			i++
+		}
+		if i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("label name without value at offset %d", start)
+		}
+		if !validLabelName(s[start:i]) {
+			return 0, fmt.Errorf("invalid label name %q", s[start:i])
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value at offset %d", i)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("dangling escape at offset %d", i)
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return 0, fmt.Errorf("invalid escape \\%c", s[i+1])
+				}
+				i++
+			} else if s[i] == '\n' {
+				return 0, fmt.Errorf("raw newline in label value")
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		i++ // closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		return 0, fmt.Errorf("expected ',' or '}' at offset %d", i)
+	}
+}

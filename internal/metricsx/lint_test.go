@@ -1,0 +1,75 @@
+package metricsx
+
+import (
+	"strings"
+	"testing"
+)
+
+func lint(t *testing.T, doc string) []string {
+	t.Helper()
+	return LintProm(strings.NewReader(doc))
+}
+
+func TestLintPromAcceptsCleanDocument(t *testing.T) {
+	doc := strings.Join([]string{
+		"# HELP a_total Things.",
+		"# TYPE a_total counter",
+		"a_total 1",
+		`a_total{kind="x",other="y z"} 2`,
+		"# TYPE b gauge",
+		`b{esc="a\"b\\c\n"} 0.5`,
+		"b 3 1700000000",
+		"# a free-form comment",
+		"",
+	}, "\n")
+	if problems := lint(t, doc); len(problems) > 0 {
+		t.Fatalf("clean document flagged:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+func TestLintPromFindsProblems(t *testing.T) {
+	cases := []struct {
+		name, doc, wantSub string
+	}{
+		{"sample before TYPE", "x_total 1\n", "before any TYPE"},
+		{"HELP after TYPE", "# TYPE x gauge\n# HELP x h\nx 1\n", "HELP must come first"},
+		{"duplicate TYPE", "# TYPE x gauge\n# TYPE x gauge\nx 1\n", "duplicate TYPE"},
+		{"bad type", "# TYPE x sometype\nx 1\n", "invalid type"},
+		{"interleaved families", "# TYPE a gauge\na 1\n# TYPE b gauge\nb 1\na 2\n", "reappears"},
+		{"bad metric name", "# TYPE x gauge\nx 1\n9bad 1\n", "invalid metric name"},
+		{"bad label name", "# TYPE x gauge\nx{9l=\"v\"} 1\n", "invalid label name"},
+		{"unquoted label value", "# TYPE x gauge\nx{l=v} 1\n", "unquoted label value"},
+		{"bad escape", `# TYPE x gauge` + "\n" + `x{l="a\q"} 1` + "\n", "invalid escape"},
+		{"unterminated value", `# TYPE x gauge` + "\n" + `x{l="a 1` + "\n", "unterminated"},
+		{"bad value", "# TYPE x gauge\nx notanumber\n", "invalid value"},
+		{"bad timestamp", "# TYPE x gauge\nx 1 nope\n", "invalid timestamp"},
+		{"duplicate series", "# TYPE x gauge\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n", "duplicate series"},
+	}
+	for _, tc := range cases {
+		problems := lint(t, tc.doc)
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, tc.wantSub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: lint = %v, want a problem containing %q", tc.name, problems, tc.wantSub)
+		}
+	}
+}
+
+// TestLintPromOverWriteProm runs the package's own exposition writer through
+// its own lint — the exporter must be clean by construction.
+func TestLintPromOverWriteProm(t *testing.T) {
+	samples := []Sample{
+		{Name: "x_total", Help: "things", Type: "counter", Value: 1},
+		{Name: "x_total", Type: "counter", Labels: map[string]string{"kind": "a b", "z": `q"w\e`}, Value: 2},
+		{Name: "y", Help: "gauge", Type: "gauge", Value: 0.25},
+	}
+	var b strings.Builder
+	WriteProm(&b, samples)
+	if problems := lint(t, b.String()); len(problems) > 0 {
+		t.Fatalf("WriteProm output fails lint:\n%s\n---\n%s", strings.Join(problems, "\n"), b.String())
+	}
+}

@@ -1,0 +1,17 @@
+package metricsx
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// registerPprof wires the net/http/pprof handlers onto a non-default mux.
+// Importing net/http/pprof only registers on http.DefaultServeMux, which the
+// debug servers deliberately do not use, so each handler is bound explicitly.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

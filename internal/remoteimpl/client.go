@@ -68,10 +68,11 @@ type Stats struct {
 // and reports measured link bandwidth for the hierarchical rebalancer's
 // migration-cost model.
 type Engine struct {
-	cfg     engine.Config // original creation config, kept for failover
-	opts    Options
-	session string
-	name    string
+	cfg       engine.Config // original creation config, kept for failover
+	opts      Options
+	session   string
+	name      string
+	debugAddr string // worker's advertised debug/metrics HTTP address
 
 	tr   *trace.Tracer
 	lane int32
@@ -142,11 +143,12 @@ func New(cfg engine.Config, opts Options) (*Engine, error) {
 		tr:      cfg.Trace,
 		lane:    int32(cfg.TraceLane),
 	}
-	conn, _, err := e.dial(false)
+	conn, hello, err := e.dial(false)
 	if err != nil {
 		return nil, err
 	}
 	e.conn = conn
+	e.debugAddr = hello.DebugAddr
 	resp, err := e.exchangeLocked(&request{Op: opCreate, Geometry: geometryOf(cfg)})
 	if err == nil && resp.Err != "" {
 		err = errors.New(resp.Err)
@@ -199,9 +201,9 @@ func Probe(addr string, timeout time.Duration) (*HelloInfo, error) {
 	if resp.Hello == nil {
 		return nil, errors.New("remoteimpl: malformed hello reply")
 	}
-	if resp.Hello.Version != protocolVersion {
-		return nil, fmt.Errorf("remoteimpl: protocol version %d on %s, want %d",
-			resp.Hello.Version, addr, protocolVersion)
+	if resp.Hello.Version < minProtocolVersion || resp.Hello.Version > protocolVersion {
+		return nil, fmt.Errorf("remoteimpl: protocol version %d on %s, want %d..%d",
+			resp.Hello.Version, addr, minProtocolVersion, protocolVersion)
 	}
 	return resp.Hello, nil
 }
@@ -247,10 +249,10 @@ func (e *Engine) dial(resume bool) (net.Conn, *HelloInfo, error) {
 		conn.Close()
 		return nil, nil, errors.New("remoteimpl: malformed hello reply")
 	}
-	if resp.Hello.Version != protocolVersion {
+	if resp.Hello.Version < minProtocolVersion || resp.Hello.Version > protocolVersion {
 		conn.Close()
-		return nil, nil, fmt.Errorf("remoteimpl: protocol version %d on %s, want %d",
-			resp.Hello.Version, e.opts.Addr, protocolVersion)
+		return nil, nil, fmt.Errorf("remoteimpl: protocol version %d on %s, want %d..%d",
+			resp.Hello.Version, e.opts.Addr, minProtocolVersion, protocolVersion)
 	}
 	return conn, resp.Hello, nil
 }
@@ -271,6 +273,12 @@ func (e *Engine) exchangeLocked(req *request) (*response, error) {
 	traced := e.tr.Enabled()
 	if traced {
 		t0 = e.tr.Now()
+		// Propagate trace context (protocol v2): the worker mirrors the
+		// enabled bit onto its session tracer and stamps its engine-side
+		// spans with the originating request identity. A v1 worker decodes
+		// and ignores these fields.
+		req.Traced = true
+		req.TraceReq = e.tr.CurrentRequest()
 	}
 	e.conn.SetDeadline(start.Add(e.opts.CallTimeout))
 	sent, err := writeMsg(e.conn, req)
@@ -537,6 +545,47 @@ func (e *Engine) Name() string { return e.name }
 
 // Addr reports the worker address the client was created against.
 func (e *Engine) Addr() string { return e.opts.Addr }
+
+// DebugAddr reports the worker's advertised debug/metrics HTTP address,
+// empty when the worker serves none (or predates protocol v2).
+func (e *Engine) DebugAddr() string { return e.debugAddr }
+
+// DrainSpans fetches and clears the worker-side session tracer, returning
+// the worker's engine spans rebased into this client's tracer timeline: the
+// drain round trip brackets the worker's clock reading, so the midpoint of
+// the RPC on the client clock estimates the instant of the worker's
+// NowNanos, and the difference rebases every span. Host-layer spans move;
+// modeled-device-clock spans (KindKernel/KindTransfer) keep their own
+// timebase, as they do locally. Returns nil when tracing is off, after
+// failover, or when the worker predates the drain op (a v1 worker answers
+// with an unknown-op error).
+func (e *Engine) DrainSpans() ([]trace.Span, error) {
+	if !e.tr.Enabled() {
+		return nil, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.local != nil || e.conn == nil {
+		return nil, nil
+	}
+	t0 := e.tr.Now()
+	resp, err := e.exchangeLocked(&request{Op: opDrainSpans})
+	t1 := e.tr.Now()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, nil // v1 worker: no spans to stitch
+	}
+	delta := (t0+t1)/2 - resp.NowNanos
+	spans := resp.Spans
+	for i := range spans {
+		if l := spans[i].Kind.Layer(); l != trace.LayerDevice {
+			spans[i].Start += delta
+		}
+	}
+	return spans, nil
+}
 
 func (e *Engine) SetTipStates(buf int, states []int) error {
 	resp, err := e.do(&request{Op: opSetTipStates, Buf: buf, Ints: states})

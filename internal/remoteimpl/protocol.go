@@ -37,11 +37,20 @@ import (
 
 	"gobeagle/internal/engine"
 	"gobeagle/internal/kernels"
+	"gobeagle/internal/trace"
 )
 
 // protocolVersion guards against coordinator/worker skew; bumped on any wire
-// format change.
-const protocolVersion = 1
+// format change. Version 2 added trace-context propagation (request.Traced /
+// request.TraceReq), the span-drain op and HelloInfo.DebugAddr — all pure
+// additions that gob-decode as zero values on a version-1 peer, so any
+// version in [minProtocolVersion, protocolVersion] interoperates: a v1
+// worker ignores trace context and answers opDrainSpans with an unknown-op
+// error the client treats as "no spans".
+const protocolVersion = 2
+
+// minProtocolVersion is the oldest peer version the client accepts.
+const minProtocolVersion = 1
 
 // maxFrame bounds one wire frame. Migration blocks are the largest payloads
 // (all partials buffers for a pattern span); 1 GiB leaves headroom for any
@@ -79,6 +88,7 @@ const (
 	opSiteLnLs
 	opDetach
 	opAttach
+	opDrainSpans
 )
 
 // String names the op for diagnostics and trace args.
@@ -92,7 +102,7 @@ func (o opCode) String() string {
 		"update-matrices", "update-partials",
 		"reset-scale", "accumulate-scale",
 		"root", "edge", "update-derivs", "edge-derivs", "site-lnls",
-		"detach", "attach",
+		"detach", "attach", "drain-spans",
 	}
 	if int(o) < len(names) {
 		return names[o]
@@ -193,6 +203,14 @@ type request struct {
 	FromHigh bool
 	N        int
 	Block    *engine.PatternBlock
+
+	// Trace context (protocol v2). Traced tells the worker to record
+	// engine-side spans for this call into its session tracer; TraceReq is
+	// the originating served request's identity, stamped onto every span the
+	// worker records while executing the call. Both gob-encode to nothing
+	// when tracing is off, so the untraced wire format is unchanged.
+	Traced   bool
+	TraceReq uint64
 }
 
 // response is the single wire response shape. Err carries application-level
@@ -207,6 +225,12 @@ type response struct {
 	Name   string
 	Block  *engine.PatternBlock
 	Hello  *HelloInfo
+
+	// Span drain (opDrainSpans, protocol v2): the worker-side session
+	// tracer's retained spans on the worker's clock, plus that clock's "now"
+	// at drain time so the client can rebase them into its own timeline.
+	Spans    []trace.Span
+	NowNanos int64
 }
 
 // HelloInfo is the worker's handshake reply: enough for the coordinator to
@@ -218,6 +242,10 @@ type HelloInfo struct {
 	// Resumed reports whether the hello reattached an existing session (its
 	// engine state survived the reconnect).
 	Resumed bool
+	// DebugAddr is the worker's debug/metrics HTTP address ("host:port"),
+	// empty when the worker serves none. Coordinators use it to federate the
+	// worker's /metrics into a cluster view.
+	DebugAddr string
 }
 
 // writeMsg gob-encodes v and writes it as one length-prefixed frame,

@@ -14,6 +14,7 @@ import (
 	"gobeagle/internal/kernels"
 	"gobeagle/internal/seqgen"
 	"gobeagle/internal/substmodel"
+	"gobeagle/internal/trace"
 	"gobeagle/internal/tree"
 )
 
@@ -112,8 +113,10 @@ func startWorker(t *testing.T) (addr string, w *Worker, stop func()) {
 		t.Fatal(err)
 	}
 	w, err = NewWorker(WorkerOptions{
-		Builder: func(g Geometry) (engine.Engine, error) {
-			return cpuimpl.New(g.Config(), cpuimpl.Serial)
+		Builder: func(g Geometry, tr *trace.Tracer) (engine.Engine, error) {
+			cfg := g.Config()
+			cfg.Trace = tr
+			return cpuimpl.New(cfg, cpuimpl.Serial)
 		},
 	})
 	if err != nil {

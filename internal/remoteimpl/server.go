@@ -7,19 +7,28 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gobeagle/internal/engine"
+	"gobeagle/internal/trace"
 )
 
 // WorkerOptions configures a Worker.
 type WorkerOptions struct {
-	// Builder constructs the engine hosted for one session. Required.
-	Builder func(Geometry) (engine.Engine, error)
+	// Builder constructs the engine hosted for one session. The tracer is
+	// the session's span tracer: wire the engine's Config.Trace to it so
+	// traced requests (request.Traced) record scheduler/kernel/storage spans
+	// the coordinator can drain with opDrainSpans. It stays disabled (one
+	// atomic load per record) until a traced frame arrives. Required.
+	Builder func(Geometry, *trace.Tracer) (engine.Engine, error)
 	// SessionTTL is how long a session with no attached connection survives
 	// before its engine is reclaimed — the window within which a coordinator
 	// may re-dial and resume after a connection drop. Default 10 minutes.
 	SessionTTL time.Duration
+	// DebugAddr, when non-empty, is the worker's debug/metrics HTTP address
+	// advertised to coordinators in the hello reply for metrics federation.
+	DebugAddr string
 	// Logf, when non-nil, receives connection lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -30,7 +39,8 @@ type WorkerOptions struct {
 type session struct {
 	mu       sync.Mutex
 	eng      engine.Engine
-	conn     net.Conn // current owner connection, nil when detached
+	tr       *trace.Tracer // session span tracer, shared with the engine
+	conn     net.Conn      // current owner connection, nil when detached
 	lastUsed time.Time
 }
 
@@ -44,6 +54,9 @@ type Worker struct {
 	sessions map[string]*session
 	conns    map[net.Conn]bool
 	closed   bool
+
+	accepted atomic.Uint64 // sessions ever created
+	requests atomic.Uint64 // engine requests dispatched
 
 	wg sync.WaitGroup
 }
@@ -167,6 +180,20 @@ func (w *Worker) SessionCount() int {
 	return len(w.sessions)
 }
 
+// AcceptedSessions reports how many sessions this worker ever created —
+// the number beagleworker logs on drain.
+func (w *Worker) AcceptedSessions() uint64 { return w.accepted.Load() }
+
+// RequestCount reports the engine requests dispatched across all sessions.
+func (w *Worker) RequestCount() uint64 { return w.requests.Load() }
+
+// ConnCount reports the live coordinator connections.
+func (w *Worker) ConnCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.conns)
+}
+
 // handle serves one connection: a hello handshake binding it to a session,
 // then a strictly serial request/response stream against that session's
 // engine.
@@ -233,7 +260,7 @@ func (w *Worker) handshake(conn net.Conn) (*session, error) {
 	if req.Op != opHello {
 		return nil, fmt.Errorf("first request is %v, want hello", req.Op)
 	}
-	info := &HelloInfo{Version: protocolVersion, Cores: runtime.NumCPU()}
+	info := &HelloInfo{Version: protocolVersion, Cores: runtime.NumCPU(), DebugAddr: w.opts.DebugAddr}
 	if req.Session == "" {
 		// Probe: report capabilities without creating state.
 		_, err := writeMsg(conn, &response{Seq: req.Seq, Hello: info})
@@ -248,8 +275,9 @@ func (w *Worker) handshake(conn net.Conn) (*session, error) {
 				Err: fmt.Sprintf("remoteimpl: unknown session %q (worker restarted?)", req.Session)})
 			return nil, fmt.Errorf("resume of unknown session %q", req.Session)
 		}
-		sess = &session{}
+		sess = &session{tr: trace.New()}
 		w.sessions[req.Session] = sess
+		w.accepted.Add(1)
 	}
 	w.mu.Unlock()
 	sess.mu.Lock()
@@ -286,12 +314,13 @@ func (w *Worker) dispatch(sess *session, conn net.Conn, req *request) *response 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	sess.lastUsed = time.Now()
+	w.requests.Add(1)
 	switch req.Op {
 	case opCreate:
 		if sess.eng != nil {
 			sess.eng.Close()
 		}
-		eng, err := w.opts.Builder(req.Geometry)
+		eng, err := w.opts.Builder(req.Geometry, sess.tr)
 		if err != nil {
 			sess.eng = nil
 			return &response{Seq: req.Seq, Err: err.Error()}
@@ -305,9 +334,35 @@ func (w *Worker) dispatch(sess *session, conn net.Conn, req *request) *response 
 		}
 		writeMsg(conn, &response{Seq: req.Seq})
 		return nil
+	case opDrainSpans:
+		// Hand the retained engine-side spans to the coordinator for trace
+		// stitching, with the session clock's "now" so the client can rebase
+		// them, then clear the rings for the next drain window.
+		resp := &response{Seq: req.Seq, Spans: sess.tr.Snapshot(), NowNanos: sess.tr.Now()}
+		sess.tr.Reset()
+		return resp
 	}
 	if sess.eng == nil {
 		return &response{Seq: req.Seq, Err: "remoteimpl: session has no engine (create first)"}
 	}
-	return applyRequest(sess.eng, req)
+	// Trace context (protocol v2): the coordinator's frame says whether its
+	// tracer is recording; mirror that onto the session tracer so the
+	// engine's layers record (or skip) spans for exactly the traced calls,
+	// each stamped with the originating request identity.
+	if req.Traced != sess.tr.Enabled() {
+		sess.tr.SetEnabled(req.Traced)
+	}
+	if !req.Traced {
+		return applyRequest(sess.eng, req)
+	}
+	sess.tr.SetRequest(req.TraceReq)
+	t0 := sess.tr.Now()
+	resp := applyRequest(sess.eng, req)
+	sess.tr.Record(trace.Span{
+		Kind: trace.KindRemoteApply, Lane: -1,
+		Start: t0, Dur: sess.tr.Now() - t0,
+		Arg0: int64(req.Op), Req: req.TraceReq,
+	})
+	sess.tr.SetRequest(0)
+	return resp
 }

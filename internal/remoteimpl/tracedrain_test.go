@@ -1,0 +1,93 @@
+package remoteimpl
+
+import (
+	"testing"
+
+	"gobeagle/internal/trace"
+)
+
+// TestDrainSpansStitchesWorkerSpans drives a traced evaluation through a
+// real worker process boundary and drains the engine-side spans back: they
+// must exist, carry the originating request id, be rebased into the client
+// tracer's timeline, and be consumed by the drain (a second drain without
+// new work returns no apply spans).
+func TestDrainSpansStitchesWorkerSpans(t *testing.T) {
+	tr, m, rates, ps := problem(t, 3, 8, 200)
+	cfg := testConfig(tr, ps.PatternCount())
+	tracer := trace.New()
+	tracer.SetEnabled(true)
+	cfg.Trace = tracer
+
+	addr, _, _ := startWorker(t)
+	remote, err := New(cfg, Options{Addr: addr, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	const reqID = 42
+	tracer.SetRequest(reqID)
+	evaluate(t, remote, tr, m, rates, ps)
+	tracer.SetRequest(0)
+
+	spans, err := remote.DrainSpans()
+	if err != nil {
+		t.Fatalf("DrainSpans: %v", err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("worker recorded no spans for a traced evaluation")
+	}
+	now := tracer.Now()
+	applies, tagged := 0, 0
+	for _, sp := range spans {
+		if sp.Kind == trace.KindRemoteApply {
+			applies++
+			if sp.Req == reqID {
+				tagged++
+			}
+			if sp.Start < 0 || sp.Start > now {
+				t.Errorf("apply span start %d not rebased into client timeline [0, %d]", sp.Start, now)
+			}
+		}
+	}
+	if applies == 0 {
+		t.Fatalf("no %v spans among %d drained spans", trace.KindRemoteApply, len(spans))
+	}
+	if tagged == 0 {
+		t.Fatalf("none of %d apply spans carried request id %d", applies, reqID)
+	}
+
+	again, err := remote.DrainSpans()
+	if err != nil {
+		t.Fatalf("second DrainSpans: %v", err)
+	}
+	for _, sp := range again {
+		if sp.Kind == trace.KindRemoteApply {
+			t.Fatalf("apply span survived the first drain (drain must consume)")
+		}
+	}
+}
+
+// TestDrainSpansDisabledIsNil asserts the untraced fast path: no tracer, no
+// wire traffic, nil result.
+func TestDrainSpansDisabledIsNil(t *testing.T) {
+	tr, m, rates, ps := problem(t, 4, 8, 100)
+	cfg := testConfig(tr, ps.PatternCount())
+
+	addr, _, _ := startWorker(t)
+	remote, err := New(cfg, Options{Addr: addr, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	evaluate(t, remote, tr, m, rates, ps)
+
+	before := remote.Stats().RPCs
+	spans, err := remote.DrainSpans()
+	if err != nil || spans != nil {
+		t.Fatalf("untraced DrainSpans = (%v, %v), want (nil, nil)", spans, err)
+	}
+	if after := remote.Stats().RPCs; after != before {
+		t.Fatalf("untraced DrainSpans issued %d RPCs", after-before)
+	}
+}

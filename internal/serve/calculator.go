@@ -16,12 +16,21 @@ import (
 const derivSlots = 3
 
 // job is one admitted request travelling through a calculator's batcher.
+// reqID tags the spans recorded on the job's behalf; batchID, batched and
+// the wait/run durations are written by the executor before done closes and
+// feed the whole-request span and the tail-latency sampler.
 type job struct {
-	c    *compiled
-	enq  time.Time
-	resp *EvaluateResponse
-	err  error
-	done chan struct{}
+	c     *compiled
+	reqID uint64
+	enq   time.Time
+	resp  *EvaluateResponse
+	err   error
+	done  chan struct{}
+
+	batchID uint64
+	batched int
+	waitNs  int64
+	runNs   int64
 }
 
 // Calculator owns one warm, wide instance shared by every request of a pool
@@ -46,10 +55,14 @@ type Calculator struct {
 	closed  chan struct{} // closed when the executor has finalized
 	once    sync.Once
 
-	// Executor-owned state.
-	inst  *gobeagle.Instance
-	slots *SlotAllocator
-	built int // slot capacity the current instance was built for
+	// Executor-owned state. instPub mirrors inst for concurrent readers
+	// (the stitched trace export walks live instances' span buffers, which
+	// are safe against concurrent recording); it is cleared before the
+	// executor finalizes an instance.
+	inst    *gobeagle.Instance
+	instPub atomic.Pointer[gobeagle.Instance]
+	slots   *SlotAllocator
+	built   int // slot capacity the current instance was built for
 
 	// Counters read concurrently by the metrics endpoints.
 	batches   atomic.Uint64 // merged submissions executed
@@ -162,6 +175,7 @@ func (c *Calculator) drain() {
 			c.runBatch([]*job{j})
 		default:
 			if c.inst != nil {
+				c.instPub.Store(nil)
 				c.inst.Finalize()
 				c.inst = nil
 			}
@@ -196,11 +210,15 @@ func (c *Calculator) derivMats(slot int) (d1, d2, sum int) {
 // state, unlike the sts exemplar's persistent ids, so nothing is copied.
 func (c *Calculator) rebuild() error {
 	if c.inst != nil {
+		c.instPub.Store(nil)
 		c.inst.Finalize()
 		c.inst = nil
 	}
 	n := c.slots.Capacity()
 	flags := c.key.Flags | gobeagle.FlagTelemetry
+	if c.opts.Trace {
+		flags |= gobeagle.FlagTrace
+	}
 	if c.key.Single {
 		flags |= gobeagle.FlagPrecisionSingle
 	}
@@ -228,6 +246,7 @@ func (c *Calculator) rebuild() error {
 		return err
 	}
 	c.inst = inst
+	c.instPub.Store(inst)
 	c.built = n
 	c.rebuilds.Add(1)
 	return nil
@@ -238,9 +257,12 @@ func (c *Calculator) rebuild() error {
 // batch, then integrate each request's root separately.
 func (c *Calculator) runBatch(batch []*job) {
 	var tstart int64
+	var batchID uint64
+	bstart := time.Now()
 	traceOn := c.tr != nil && c.tr.Enabled()
 	if traceOn {
 		tstart = c.tr.Now()
+		batchID = c.tr.NextBatch()
 	}
 
 	grew := false
@@ -263,11 +285,15 @@ func (c *Calculator) runBatch(batch []*job) {
 	live := batch[:0:0]
 	var liveSlots []int
 	for i, j := range batch {
+		j.batchID = batchID
+		j.batched = len(batch)
+		j.waitNs = bstart.Sub(j.enq).Nanoseconds()
 		if traceOn {
 			now := c.tr.Now()
 			wait := time.Since(j.enq).Nanoseconds()
 			c.tr.Record(trace.Span{Kind: trace.KindServeWait, Lane: int32(i),
-				Start: now - wait, Dur: wait, Arg0: int64(j.c.patterns)})
+				Start: now - wait, Dur: wait, Arg0: int64(j.c.patterns),
+				Batch: batchID, Req: j.reqID})
 		}
 		slot := c.slots.Get()
 		if slot < 0 {
@@ -277,10 +303,14 @@ func (c *Calculator) runBatch(batch []*job) {
 			close(j.done)
 			continue
 		}
+		// Tag the engine-side spans this job's slot loads record — and, over
+		// the wire, the worker-side spans — with the job's request identity.
+		c.inst.SetTraceRequest(j.reqID)
 		if err := c.loadJob(slot, j.c); err != nil {
 			j.err = err
 			c.errors.Add(1)
 			c.slots.Free(slot)
+			j.runNs = time.Since(bstart).Nanoseconds()
 			close(j.done)
 			continue
 		}
@@ -309,9 +339,13 @@ func (c *Calculator) runBatch(batch []*job) {
 	}
 
 	if len(live) > 0 {
+		// The merged submission computes every job at once; attribute its
+		// engine spans to the batch leader (the oldest request).
+		c.inst.SetTraceRequest(live[0].reqID)
 		if err := c.inst.UpdatePartials(merged); err != nil {
 			for _, j := range live {
 				j.err = err
+				j.runNs = time.Since(bstart).Nanoseconds()
 				close(j.done)
 			}
 			c.errors.Add(uint64(len(live)))
@@ -320,6 +354,7 @@ func (c *Calculator) runBatch(batch []*job) {
 	}
 
 	for i, j := range live {
+		c.inst.SetTraceRequest(j.reqID)
 		if err := c.integrate(liveSlots[i], j); err != nil {
 			j.err = err
 			c.errors.Add(1)
@@ -327,15 +362,17 @@ func (c *Calculator) runBatch(batch []*job) {
 			c.requests.Add(1)
 		}
 		c.slots.Free(liveSlots[i])
+		j.runNs = time.Since(bstart).Nanoseconds()
 		close(j.done)
 	}
+	c.inst.SetTraceRequest(0)
 
 	c.batches.Add(1)
 	c.batchFill.Add(uint64(len(batch)))
 	c.lastUsed.Store(time.Now().UnixNano())
 	if traceOn {
 		c.tr.Record(trace.Span{Kind: trace.KindServeBatch, Lane: -1,
-			Start: tstart, Dur: c.tr.Now() - tstart,
+			Start: tstart, Dur: c.tr.Now() - tstart, Batch: batchID,
 			Arg0: int64(len(batch)), Arg1: int64(c.slots.Capacity())})
 	}
 }

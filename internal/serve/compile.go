@@ -32,6 +32,11 @@ type GammaSpec struct {
 // alignment, evaluated to the root log likelihood (optionally per-site log
 // likelihoods and the root-branch derivatives).
 type EvaluateRequest struct {
+	// RequestID names the request for tracing and log correlation; the
+	// X-Beagle-Request-Id header takes precedence, and the server generates
+	// an id when both are empty. The effective id is echoed in the
+	// response header and body.
+	RequestID string `json:"request_id,omitempty"`
 	// Tenant attributes the request to a quota bucket; the X-Beagle-Tenant
 	// header takes precedence. Empty means "default".
 	Tenant string `json:"tenant,omitempty"`
@@ -75,6 +80,9 @@ type PoolInfo struct {
 
 // EvaluateResponse is the POST /v1/evaluate reply.
 type EvaluateResponse struct {
+	// RequestID is the effective request id (client-supplied or generated),
+	// matching the X-Beagle-Request-Id response header.
+	RequestID          string    `json:"request_id,omitempty"`
 	LogLikelihood      float64   `json:"log_likelihood"`
 	SiteLogLikelihoods []float64 `json:"site_log_likelihoods,omitempty"`
 	// D1 and D2 are the root-branch log-likelihood derivatives when

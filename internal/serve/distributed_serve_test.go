@@ -2,12 +2,19 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"gobeagle/internal/cpuimpl"
 	"gobeagle/internal/engine"
 	"gobeagle/internal/remoteimpl"
+	"gobeagle/internal/trace"
 )
 
 // TestServedDistributedBitIdentical wires Options.Workers (the beagled
@@ -16,8 +23,10 @@ import (
 // bit-identical to the local-only pooled path.
 func TestServedDistributedBitIdentical(t *testing.T) {
 	worker, err := remoteimpl.NewWorker(remoteimpl.WorkerOptions{
-		Builder: func(g remoteimpl.Geometry) (engine.Engine, error) {
-			return cpuimpl.New(g.Config(), cpuimpl.Serial)
+		Builder: func(g remoteimpl.Geometry, tr *trace.Tracer) (engine.Engine, error) {
+			cfg := g.Config()
+			cfg.Trace = tr
+			return cpuimpl.New(cfg, cpuimpl.Serial)
 		},
 	})
 	if err != nil {
@@ -55,5 +64,111 @@ func TestServedDistributedBitIdentical(t *testing.T) {
 				t.Fatalf("seed %d: site %d differs", seed, i)
 			}
 		}
+	}
+}
+
+// TestServedDistributedTraceStitched runs the traced distributed path in
+// process: served requests shard onto a real (in-process) beagleworker, and
+// /debug/trace.json must render ONE document where the worker's engine spans
+// appear on their own "remote worker" process track and share request ids
+// with the serve-side spans.
+func TestServedDistributedTraceStitched(t *testing.T) {
+	worker, err := remoteimpl.NewWorker(remoteimpl.WorkerOptions{
+		Builder: func(g remoteimpl.Geometry, tr *trace.Tracer) (engine.Engine, error) {
+			cfg := g.Config()
+			cfg.Trace = tr
+			return cpuimpl.New(cfg, cpuimpl.Serial)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		worker.Serve(ctx, ln)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+
+	s := newTestServer(t, func(o *Options) {
+		o.Trace = true
+		o.Workers = []string{ln.Addr().String()}
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for seed := int64(0); seed < 3; seed++ {
+		req := testRequest(6, 120, 60+seed, false)
+		req.RequestID = fmt.Sprintf("dist-%d", seed)
+		resp := postEvaluate(t, ts, req, "")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d", seed, resp.StatusCode)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	hresp, err := ts.Client().Get(ts.URL + "/debug/trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace.json: %v", err)
+	}
+
+	workerPids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "M" && ev["name"] == "process_name" {
+			if args, ok := ev["args"].(map[string]any); ok {
+				if name, _ := args["name"].(string); strings.HasPrefix(name, "remote worker") {
+					workerPids[int(ev["pid"].(float64))] = true
+				}
+			}
+		}
+	}
+	if len(workerPids) == 0 {
+		t.Fatal("trace.json has no remote worker process track")
+	}
+
+	// At least one request id must appear both on a worker pid and a
+	// non-worker (serve/engine) pid — the stitch the whole feature exists for.
+	pidsByReq := map[float64]map[bool]bool{} // req -> {onWorker} set
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "X" {
+			continue
+		}
+		args, ok := ev["args"].(map[string]any)
+		if !ok {
+			continue
+		}
+		req, ok := args["req"].(float64)
+		if !ok || req == 0 {
+			continue
+		}
+		if pidsByReq[req] == nil {
+			pidsByReq[req] = map[bool]bool{}
+		}
+		pidsByReq[req][workerPids[int(ev["pid"].(float64))]] = true
+	}
+	stitched := 0
+	for _, sides := range pidsByReq {
+		if sides[true] && sides[false] {
+			stitched++
+		}
+	}
+	if stitched == 0 {
+		t.Fatalf("no request id spans both serve and worker processes (reqs seen: %d)", len(pidsByReq))
 	}
 }

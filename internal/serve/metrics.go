@@ -40,6 +40,10 @@ func (src serveSource) Metrics() []metricsx.Sample {
 			Value: float64(s.eigenHits.Load())},
 		{Name: "beagled_eigen_cache_misses_total", Help: "eigendecompositions computed on cache miss", Type: "counter",
 			Value: float64(s.eigenMisses.Load())},
+		{Name: "beagled_slow_retained", Help: "requests retained by the tail-latency sampler", Type: "gauge",
+			Value: float64(len(s.slow.Snapshot()))},
+		{Name: "beagled_trace_spans", Help: "spans currently retained by the serve-layer tracer", Type: "gauge",
+			Value: float64(len(s.tracer.Snapshot()))},
 	}
 	for _, c := range pool.PerKey {
 		labels := map[string]string{"key": c.Key}

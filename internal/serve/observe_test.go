@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gobeagle/internal/metricsx"
+)
+
+func postEvaluate(t *testing.T, ts *httptest.Server, req *EvaluateRequest, header string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/evaluate", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if header != "" {
+		hreq.Header.Set(RequestIDHeader, header)
+	}
+	resp, err := ts.Client().Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestRequestIDEchoedOnEveryPath pins the echo contract: whatever answer the
+// server gives — success, method error, parse error, quota rejection — the
+// response names the request via X-Beagle-Request-Id, honoring a
+// client-supplied id verbatim and minting one otherwise.
+func TestRequestIDEchoedOnEveryPath(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Method rejection echoes the supplied id.
+	hreq, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/evaluate", nil)
+	hreq.Header.Set(RequestIDHeader, "id-405")
+	resp, err := ts.Client().Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d, want 405", resp.StatusCode)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != "id-405" {
+		t.Errorf("405 echo = %q, want id-405", got)
+	}
+
+	// Parse failure without a supplied id mints one.
+	resp, err = http.Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d, want 400", resp.StatusCode)
+	}
+	if got := resp.Header.Get(RequestIDHeader); !strings.HasPrefix(got, "beagle-") {
+		t.Errorf("400 echo = %q, want a minted beagle-* id", got)
+	}
+
+	// Success echoes the supplied id in both header and body.
+	resp = postEvaluate(t, ts, testRequest(4, 20, 1, false), "id-ok")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate: status %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != "id-ok" {
+		t.Errorf("200 header echo = %q, want id-ok", got)
+	}
+	var out EvaluateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.RequestID != "id-ok" {
+		t.Errorf("200 body request_id = %q, want id-ok", out.RequestID)
+	}
+
+	// A body-carried id works for header-less clients.
+	req := testRequest(4, 20, 2, false)
+	req.RequestID = "id-body"
+	resp = postEvaluate(t, ts, req, "")
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "id-body" {
+		t.Errorf("body-id echo = %q, want id-body", got)
+	}
+
+	// Two header-less requests mint distinct ids.
+	r1 := postEvaluate(t, ts, testRequest(4, 20, 3, false), "")
+	r1.Body.Close()
+	r2 := postEvaluate(t, ts, testRequest(4, 20, 4, false), "")
+	r2.Body.Close()
+	a, b := r1.Header.Get(RequestIDHeader), r2.Header.Get(RequestIDHeader)
+	if a == "" || a == b {
+		t.Errorf("minted ids not unique: %q vs %q", a, b)
+	}
+}
+
+// TestRequestIDEchoedOnQuotaReject covers the 429 path separately: a bucket
+// with burst 1 and a negligible refill rejects the second request, and the
+// rejection still echoes the id.
+func TestRequestIDEchoedOnQuotaReject(t *testing.T) {
+	s := newTestServer(t, func(o *Options) {
+		o.QuotaRPS = 0.0001
+		o.QuotaBurst = 1
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp := postEvaluate(t, ts, testRequest(4, 20, 1, false), "id-first")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d, want 200", resp.StatusCode)
+	}
+	resp = postEvaluate(t, ts, testRequest(4, 20, 2, false), "id-429")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != "id-429" {
+		t.Errorf("429 echo = %q, want id-429", got)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+}
+
+// TestSlowSamplerRetainsPhases asserts /debug/slow: after traffic, the
+// sampler holds entries ordered slowest-first whose phase trees cover the
+// request's life (compile at minimum; queue/run when the pooled path ran).
+func TestSlowSamplerRetainsPhases(t *testing.T) {
+	s := newTestServer(t, func(o *Options) { o.SlowN = 4 })
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for i := 0; i < 6; i++ {
+		resp := postEvaluate(t, ts, testRequest(4, 20+i, int64(i), false), "")
+		resp.Body.Close()
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var entries []SlowEntry
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatalf("decode /debug/slow: %v", err)
+	}
+	if len(entries) == 0 || len(entries) > 4 {
+		t.Fatalf("retained %d entries, want 1..4", len(entries))
+	}
+	for i, e := range entries {
+		if e.RequestID == "" || e.TraceID == 0 {
+			t.Errorf("entry %d lacks identity: %+v", i, e)
+		}
+		if e.TotalUs <= 0 {
+			t.Errorf("entry %d TotalUs = %d", i, e.TotalUs)
+		}
+		if i > 0 && entries[i-1].TotalUs < e.TotalUs {
+			t.Errorf("entries not slowest-first at %d: %d then %d", i, entries[i-1].TotalUs, e.TotalUs)
+		}
+		names := map[string]bool{}
+		for _, p := range e.Phases {
+			names[p.Name] = true
+			for _, c := range p.Children {
+				names[c.Name] = true
+			}
+		}
+		if !names["compile"] {
+			t.Errorf("entry %d phases %v missing compile", i, e.Phases)
+		}
+		if e.Status == 200 && e.Batched > 0 && (!names["pool"] || !names["queue"] || !names["run"]) {
+			t.Errorf("batched entry %d phases lack pool/queue/run: %+v", i, e.Phases)
+		}
+	}
+}
+
+// TestTraceJSONHasServeProcessAndRequestArgs asserts the stitched trace
+// export end to end on a single process: the serve layer renders as a named
+// process track and request-tagged spans expose args.req so the Chrome trace
+// can be filtered by request.
+func TestTraceJSONHasServeProcessAndRequestArgs(t *testing.T) {
+	s := newTestServer(t, func(o *Options) { o.Trace = true })
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp := postEvaluate(t, ts, testRequest(4, 30, int64(i), false), "")
+		resp.Body.Close()
+	}
+	// The batch executor records spans after answering; give it a beat.
+	time.Sleep(20 * time.Millisecond)
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace.json is not valid JSON: %v", err)
+	}
+
+	haveServeProc := false
+	reqTagged := 0
+	serveRequestSpans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "M" && ev["name"] == "process_name" {
+			if args, ok := ev["args"].(map[string]any); ok && args["name"] == "serve" {
+				haveServeProc = true
+			}
+		}
+		if ev["ph"] != "X" {
+			continue
+		}
+		if ev["name"] == "serve request" {
+			serveRequestSpans++
+		}
+		if args, ok := ev["args"].(map[string]any); ok {
+			if req, ok := args["req"].(float64); ok && req != 0 {
+				reqTagged++
+			}
+		}
+	}
+	if !haveServeProc {
+		t.Error("trace.json has no serve process track")
+	}
+	if serveRequestSpans < 3 {
+		t.Errorf("trace.json has %d request spans, want >= 3", serveRequestSpans)
+	}
+	if reqTagged < 3 {
+		t.Errorf("trace.json has %d request-tagged spans, want >= 3", reqTagged)
+	}
+}
+
+// TestLiveMetricsScrapesAreLintClean is the promlint-style gate over the
+// real exposition: both the plain scrape and the federated cluster view of a
+// live server (after traffic, so counters and histograms are populated) must
+// pass the structural lint.
+func TestLiveMetricsScrapesAreLintClean(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp := postEvaluate(t, ts, testRequest(4, 20, int64(i), false), "")
+		resp.Body.Close()
+	}
+
+	for _, path := range []string{"/metrics", "/cluster/metrics"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if problems := metricsx.LintProm(bytes.NewReader(buf.Bytes())); len(problems) > 0 {
+			t.Errorf("%s fails lint:\n%s", path, strings.Join(problems, "\n"))
+		}
+		if path == "/cluster/metrics" && !strings.Contains(buf.String(), `worker="beagled"`) {
+			t.Errorf("cluster view lacks the self worker label:\n%s", truncate(buf.String(), 400))
+		}
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -137,6 +137,31 @@ func (p *Pool) Close() {
 	}
 }
 
+// PoolInstance pairs a live pooled instance with its key for the stitched
+// trace export.
+type PoolInstance struct {
+	Key  PoolKey
+	Inst *gobeagle.Instance
+}
+
+// Instances snapshots the pool's live instances, sorted by key so exports
+// are stable run to run. An instance may be concurrently finalized by its
+// executor after the snapshot; its span buffers stay readable, and wire
+// drains against a closed worker connection simply report an error the
+// caller skips.
+func (p *Pool) Instances() []PoolInstance {
+	p.mu.Lock()
+	out := make([]PoolInstance, 0, len(p.calcs))
+	for key, c := range p.calcs {
+		if inst := c.instPub.Load(); inst != nil {
+			out = append(out, PoolInstance{Key: key, Inst: inst})
+		}
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
 // PoolStats is a point-in-time snapshot of the pool for metrics and the
 // health endpoint.
 type PoolStats struct {

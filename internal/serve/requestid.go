@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// RequestIDHeader is the HTTP header carrying a request's identity. Clients
+// may supply their own value; the server generates one otherwise, and echoes
+// the effective value on every response — including rejections — so a client
+// can correlate any answer, even a 429, with the request that caused it.
+const RequestIDHeader = "X-Beagle-Request-Id"
+
+// resolveRequestID maps a client-supplied request id (possibly empty) to the
+// effective wire id and the uint64 trace id spans are tagged with. The trace
+// id is always the FNV-1a hash of the wire string, so the id printed in logs,
+// the header echoed to the client and the args.req field in an exported trace
+// all name the same request; it is never zero (zero means "untagged" to the
+// tracer).
+func (s *Server) resolveRequestID(id string) (string, uint64) {
+	if id == "" {
+		id = fmt.Sprintf("beagle-%016x", s.reqSeq.Add(1))
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	n := h.Sum64()
+	if n == 0 {
+		n = 1
+	}
+	return id, n
+}

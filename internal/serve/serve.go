@@ -15,6 +15,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -25,6 +27,7 @@ import (
 	"gobeagle"
 	"gobeagle/internal/linalg"
 	"gobeagle/internal/metricsx"
+	"gobeagle/internal/remoteimpl"
 	"gobeagle/internal/substmodel"
 	"gobeagle/internal/trace"
 )
@@ -81,6 +84,23 @@ type Options struct {
 	// beagled -workers flag). The workers must be reachable when the first
 	// batch builds its instance.
 	Workers []string
+	// Trace propagates span tracing into pooled instances — and across the
+	// wire into worker processes — so /debug/trace.json exports one
+	// stitched timeline from HTTP admission down to engine kernels. The
+	// serve layer's own spans are always recorded; this switch only
+	// controls the engine-side layers, whose disabled path stays one
+	// atomic load per instrumented site.
+	Trace bool
+	// Pprof exposes net/http/pprof under /debug/pprof/ on the server's
+	// debug mux (the beagled -pprof flag). Off by default: profiling
+	// endpoints are strictly opt-in.
+	Pprof bool
+	// SlowN is how many slowest requests the tail-latency sampler retains
+	// for /debug/slow; 0 means the default (16).
+	SlowN int
+	// Logger receives structured lifecycle and request-failure logs; nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // DefaultOptions returns the daemon's default tuning.
@@ -112,6 +132,15 @@ type Server struct {
 	tracer *trace.Tracer
 	mux    *http.ServeMux
 	start  time.Time
+	slow   *SlowSampler
+	logger *slog.Logger
+	reqSeq atomic.Uint64 // generated request-id sequence
+
+	// fedTargets caches worker address → resolved debug-scrape URL for the
+	// /cluster/metrics federation endpoint; failed probes are not cached so
+	// a worker whose debug server starts late is still found.
+	fedMu      sync.Mutex
+	fedTargets map[string]string
 
 	eigenMu     sync.Mutex
 	eigenCache  map[string]*linalg.EigenDecomposition
@@ -163,6 +192,13 @@ func NewServer(opts Options) *Server {
 	if opts.IdleTimeout <= 0 {
 		opts.IdleTimeout = def.IdleTimeout
 	}
+	if opts.SlowN <= 0 {
+		opts.SlowN = 16
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	tr := trace.New()
 	tr.SetEnabled(true)
 	s := &Server{
@@ -170,6 +206,9 @@ func NewServer(opts Options) *Server {
 		tracer:     tr,
 		quota:      NewTokenBuckets(opts.QuotaRPS, opts.QuotaBurst),
 		start:      time.Now(),
+		slow:       NewSlowSampler(opts.SlowN),
+		logger:     logger,
+		fedTargets: map[string]string{},
 		eigenCache: map[string]*linalg.EigenDecomposition{},
 	}
 	s.pool = NewPool(opts, tr)
@@ -188,9 +227,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
-	debug := metricsx.NewMux(serveSource{s})
+	var muxOpts []metricsx.MuxOption
+	if s.opts.Pprof {
+		muxOpts = append(muxOpts, metricsx.WithPprof())
+	}
+	debug := metricsx.NewMux(serveSource{s}, muxOpts...)
 	mux.Handle("/metrics", debug)
 	mux.Handle("/debug/", debug)
+	mux.HandleFunc("/debug/slow", s.handleSlow)
+	mux.HandleFunc("/debug/trace.json", s.handleTraceJSON)
+	mux.HandleFunc("/cluster/metrics", s.handleClusterMetrics)
 	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("/v1/health", s.handleHealth)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -199,11 +245,14 @@ func (s *Server) buildMux() *http.ServeMux {
 			return
 		}
 		fmt.Fprintln(w, "beagled — likelihood-as-a-service")
-		fmt.Fprintln(w, "  POST /v1/evaluate  evaluate a tree (JSON)")
-		fmt.Fprintln(w, "  GET  /v1/health    liveness and pool summary")
-		fmt.Fprintln(w, "  GET  /metrics      Prometheus text metrics")
-		fmt.Fprintln(w, "  GET  /debug/vars   expvar-style JSON variables")
-		fmt.Fprintln(w, "  GET  /debug/trace  serve-layer span summary")
+		fmt.Fprintln(w, "  POST /v1/evaluate      evaluate a tree (JSON)")
+		fmt.Fprintln(w, "  GET  /v1/health        liveness and pool summary")
+		fmt.Fprintln(w, "  GET  /metrics          Prometheus text metrics")
+		fmt.Fprintln(w, "  GET  /cluster/metrics  federated cluster metrics (self + workers)")
+		fmt.Fprintln(w, "  GET  /debug/vars       expvar-style JSON variables")
+		fmt.Fprintln(w, "  GET  /debug/trace      serve-layer span summary")
+		fmt.Fprintln(w, "  GET  /debug/trace.json stitched Chrome trace (serve + engines + workers)")
+		fmt.Fprintln(w, "  GET  /debug/slow       slowest retained requests with phase timings")
 	})
 	return mux
 }
@@ -223,7 +272,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	// The effective request id is echoed on every response — rejections
+	// included — so any answer the client sees, even a 429, names the
+	// request that caused it.
+	rid := r.Header.Get(RequestIDHeader)
+	echo := func() string {
+		id, _ := s.resolveRequestID(rid)
+		w.Header().Set(RequestIDHeader, id)
+		return id
+	}
 	if r.Method != http.MethodPost {
+		echo()
 		w.Header().Set("Allow", http.MethodPost)
 		writeJSON(w, http.StatusMethodNotAllowed, errorReply{"POST only"})
 		return
@@ -231,10 +290,19 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req EvaluateRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
+		echo()
 		s.badRequests.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorReply{fmt.Sprintf("decode: %v", err)})
 		return
 	}
+	if rid == "" {
+		rid = req.RequestID // body-carried id, for header-less clients
+	}
+	// Resolve (possibly mint) the effective id up front so the handler owns
+	// it for headers and logs; Evaluate maps the same wire string to the
+	// same trace id.
+	rid, _ = s.resolveRequestID(rid)
+	req.RequestID = rid
 	tenant := r.Header.Get("X-Beagle-Tenant")
 	if tenant == "" {
 		tenant = req.Tenant
@@ -242,15 +310,21 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if tenant == "" {
 		tenant = "default"
 	}
+	req.Tenant = tenant
 	if ok, retry := s.quota.Allow(tenant, time.Now()); !ok {
+		id := echo()
 		s.rejectQuota.Add(1)
 		secs := int(retry/time.Second) + 1
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		s.logger.Debug("request over quota", "request", id, "tenant", tenant)
 		writeJSON(w, http.StatusTooManyRequests, errorReply{fmt.Sprintf("tenant %q over quota", tenant)})
 		return
 	}
 	resp, code, err := s.Evaluate(r.Context(), &req)
+	w.Header().Set(RequestIDHeader, rid)
 	if err != nil {
+		s.logger.Warn("evaluate failed",
+			"request", rid, "tenant", tenant, "status", code, "err", err.Error())
 		writeJSON(w, code, errorReply{err.Error()})
 		return
 	}
@@ -260,13 +334,55 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 // Evaluate runs one request through compilation, admission and the pool (or
 // the per-request ablation path), returning the response or an HTTP status
 // and error. Exported so in-process clients (benchmarks, tests) can bypass
-// HTTP.
+// HTTP. The request's (possibly empty) RequestID is resolved to the
+// effective wire id, returned in the response; every span recorded on the
+// request's behalf — down to worker-process kernels when Options.Trace is
+// on — carries its trace id. The request struct is never written, so
+// callers may share one across concurrent calls.
 func (s *Server) Evaluate(ctx context.Context, req *EvaluateRequest) (*EvaluateResponse, int, error) {
+	start := time.Now()
+	tstart := s.tracer.Now()
+	rid, traceID := s.resolveRequestID(req.RequestID)
+
+	// The whole-lifetime span and slow-sampler entry are emitted however the
+	// request leaves; the named fields below are filled in along the way.
+	status := http.StatusOK
+	var j *job
+	var key string
+	var compileNs int64
+	defer func() {
+		s.tracer.Record(trace.Span{Kind: trace.KindServeRequest, Lane: -1,
+			Start: tstart, Dur: s.tracer.Now() - tstart,
+			Arg0: int64(status), Arg1: batchedOf(j), Batch: batchOf(j), Req: traceID})
+		entry := SlowEntry{
+			RequestID: rid, TraceID: traceID, Tenant: req.Tenant, Key: key,
+			Status: status, Batched: int(batchedOf(j)), Batch: batchOf(j),
+			Start: start, TotalUs: time.Since(start).Microseconds(),
+			Phases: []SlowPhase{{Name: "compile", DurUs: compileNs / 1e3}},
+		}
+		if jobFinished(j) {
+			entry.Phases = append(entry.Phases, SlowPhase{
+				Name: "pool", StartUs: compileNs / 1e3,
+				DurUs: (j.waitNs + j.runNs) / 1e3,
+				Children: []SlowPhase{
+					{Name: "queue", StartUs: compileNs / 1e3, DurUs: j.waitNs / 1e3},
+					{Name: "run", StartUs: (compileNs + j.waitNs) / 1e3, DurUs: j.runNs / 1e3},
+				},
+			})
+		}
+		s.slow.Observe(entry)
+	}()
+
 	c, err := s.compile(req)
+	compileNs = time.Since(start).Nanoseconds()
+	s.tracer.Record(trace.Span{Kind: trace.KindServeCompile, Lane: -1,
+		Start: tstart, Dur: compileNs, Req: traceID})
 	if err != nil {
 		s.badRequests.Add(1)
-		return nil, http.StatusUnprocessableEntity, err
+		status = http.StatusUnprocessableEntity
+		return nil, status, err
 	}
+	key = c.key.String()
 	s.requests.Add(1)
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
@@ -275,12 +391,14 @@ func (s *Server) Evaluate(ctx context.Context, req *EvaluateRequest) (*EvaluateR
 		resp, err := s.evaluateDirect(c)
 		if err != nil {
 			s.evalErrors.Add(1)
-			return nil, http.StatusInternalServerError, err
+			status = http.StatusInternalServerError
+			return nil, status, err
 		}
+		resp.RequestID = rid
 		return resp, http.StatusOK, nil
 	}
 
-	j := &job{c: c, enq: time.Now(), done: make(chan struct{})}
+	j = &job{c: c, reqID: traceID, enq: time.Now(), done: make(chan struct{})}
 	hit := false
 	submitted := false
 	// An evicted calculator rejects new jobs while draining; re-resolving
@@ -295,12 +413,14 @@ func (s *Server) Evaluate(ctx context.Context, req *EvaluateRequest) (*EvaluateR
 		}
 		if errors.Is(err, errQueueFull) {
 			s.rejectQueue.Add(1)
-			return nil, http.StatusTooManyRequests, fmt.Errorf("serve: overloaded (queue full for %s)", c.key)
+			status = http.StatusTooManyRequests
+			return nil, status, fmt.Errorf("serve: overloaded (queue full for %s)", c.key)
 		}
 	}
 	if !submitted {
 		s.evalErrors.Add(1)
-		return nil, http.StatusServiceUnavailable, fmt.Errorf("serve: calculator unavailable for %s", c.key)
+		status = http.StatusServiceUnavailable
+		return nil, status, fmt.Errorf("serve: calculator unavailable for %s", c.key)
 	}
 
 	timeout := time.NewTimer(s.opts.RequestTimeout)
@@ -309,17 +429,53 @@ func (s *Server) Evaluate(ctx context.Context, req *EvaluateRequest) (*EvaluateR
 	case <-j.done:
 	case <-ctx.Done():
 		// The batch may still execute; the response is simply dropped.
-		return nil, statusClientClosed, ctx.Err()
+		status = statusClientClosed
+		return nil, status, ctx.Err()
 	case <-timeout.C:
 		s.evalErrors.Add(1)
-		return nil, http.StatusServiceUnavailable, fmt.Errorf("serve: request timed out after %v", s.opts.RequestTimeout)
+		status = http.StatusServiceUnavailable
+		return nil, status, fmt.Errorf("serve: request timed out after %v", s.opts.RequestTimeout)
 	}
 	if j.err != nil {
 		s.evalErrors.Add(1)
-		return nil, http.StatusInternalServerError, j.err
+		status = http.StatusInternalServerError
+		return nil, status, j.err
 	}
 	j.resp.Pool.Hit = hit
+	j.resp.RequestID = rid
 	return j.resp, http.StatusOK, nil
+}
+
+// jobFinished reports whether a job's executor handoff completed, i.e. its
+// executor-written fields are safe to read. Nil jobs (rejections, the
+// ablation mode) and jobs abandoned by timeout or client cancel — which the
+// executor may still be writing — report false.
+func jobFinished(j *job) bool {
+	if j == nil {
+		return false
+	}
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// batchedOf and batchOf read a finished job's batch linkage, zero whenever
+// the job never (observably) ran.
+func batchedOf(j *job) int64 {
+	if !jobFinished(j) {
+		return 0
+	}
+	return int64(j.batched)
+}
+
+func batchOf(j *job) uint64 {
+	if !jobFinished(j) {
+		return 0
+	}
+	return j.batchID
 }
 
 // statusClientClosed is nginx's 499, the conventional "client closed
@@ -476,6 +632,82 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleSlow serves the tail-latency sampler: the N slowest requests seen so
+// far, slowest first, each with its phase tree.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slow.Snapshot())
+}
+
+// handleTraceJSON exports one stitched Chrome trace: the serve layer's own
+// spans, every pooled instance's engine spans rebased onto the serve
+// timeline, and — for distributed pools — each worker process's spans
+// drained over the wire, as separate process tracks. Loading the result in
+// Perfetto shows a request travel from HTTP admission through queueing and
+// batching into scheduler levels and, across the wire-time gap, into worker
+// kernels, all sharing args.req.
+func (s *Server) handleTraceJSON(w http.ResponseWriter, r *http.Request) {
+	local := s.tracer.Snapshot()
+	var procs []trace.Process
+	serveEpoch := s.tracer.EpochNanos()
+	for _, pi := range s.pool.Instances() {
+		// Each instance's tracer started its clock at a different wall
+		// instant; the epoch difference rebases its spans onto the serve
+		// tracer's timeline. Device-layer spans stay on the modeled device
+		// clock, as TraceJSON documents.
+		delta := pi.Inst.TraceEpochNanos() - serveEpoch
+		for _, sp := range pi.Inst.TraceSpans() {
+			if sp.Kind.Layer() != trace.LayerDevice {
+				sp.Start += delta
+			}
+			local = append(local, sp)
+		}
+		for _, p := range pi.Inst.RemoteTraceProcesses() {
+			for i := range p.Spans {
+				if p.Spans[i].Kind.Layer() != trace.LayerDevice {
+					p.Spans[i].Start += delta
+				}
+			}
+			procs = append(procs, p)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := trace.WriteStitched(w, local, procs); err != nil {
+		s.logger.Warn("trace export failed", "err", err.Error())
+	}
+}
+
+// handleClusterMetrics federates the daemon's own metrics with a live scrape
+// of every configured worker's debug endpoint, each series labeled with its
+// origin — one scrape for the whole cluster.
+func (s *Server) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	fed := &metricsx.Federator{UpMetric: "beagled_cluster_scrape_up"}
+	if err := fed.WriteCluster(w, serveSource{s}.Metrics(), "beagled", s.workerTargets()); err != nil {
+		s.logger.Warn("cluster metrics federation failed", "err", err.Error())
+	}
+}
+
+// workerTargets resolves the configured worker addresses to scrape targets.
+// A worker advertises its debug address in its wire hello; the stateless
+// probe that reads it runs once per worker and is cached on success. Workers
+// without a debug server (or unreachable ones) stay in the target list with
+// an empty URL, which the federator reports as scrape-up 0.
+func (s *Server) workerTargets() []metricsx.Target {
+	s.fedMu.Lock()
+	defer s.fedMu.Unlock()
+	targets := make([]metricsx.Target, 0, len(s.opts.Workers))
+	for _, addr := range s.opts.Workers {
+		url, ok := s.fedTargets[addr]
+		if !ok {
+			if hello, err := remoteimpl.Probe(addr, 3*time.Second); err == nil && hello.DebugAddr != "" {
+				url = "http://" + hello.DebugAddr + "/metrics"
+				s.fedTargets[addr] = url
+			}
+		}
+		targets = append(targets, metricsx.Target{Label: addr, URL: url})
+	}
+	return targets
+}
+
 // ListenAndServe binds addr, optionally reports the bound address through
 // ready, and serves until the context is cancelled, then drains in-flight
 // requests and finalizes the pool.
@@ -487,6 +719,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, ready chan<- n
 	if ready != nil {
 		ready <- ln.Addr()
 	}
+	s.logger.Info("serving",
+		"addr", ln.Addr().String(), "window", s.opts.Window.String(),
+		"max_batch", s.opts.MaxBatch, "workers", len(s.opts.Workers), "trace", s.opts.Trace)
 	srv := &http.Server{
 		Handler:           s,
 		ReadHeaderTimeout: s.opts.ReadHeaderTimeout,
@@ -503,6 +738,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, ready chan<- n
 	case err = <-errc:
 	}
 	s.Close()
+	s.logger.Info("drained",
+		"requests", s.requests.Load(), "rejected_queue", s.rejectQueue.Load(),
+		"rejected_quota", s.rejectQuota.Load(), "errors", s.evalErrors.Load())
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}

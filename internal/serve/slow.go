@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowPhase is one timed phase of a retained slow request, offsets relative
+// to the request's admission. Nested children decompose a phase further, so
+// /debug/slow renders a small span tree per request without needing the full
+// tracer export.
+type SlowPhase struct {
+	Name     string      `json:"name"`
+	StartUs  int64       `json:"start_us"`
+	DurUs    int64       `json:"dur_us"`
+	Children []SlowPhase `json:"children,omitempty"`
+}
+
+// SlowEntry is one retained request in the tail-latency sampler.
+type SlowEntry struct {
+	// RequestID is the wire id echoed to the client; TraceID is the uint64
+	// the request's spans carry in args.req of the exported trace.
+	RequestID string `json:"request_id"`
+	TraceID   uint64 `json:"trace_id"`
+	Tenant    string `json:"tenant,omitempty"`
+	Key       string `json:"key,omitempty"`
+	Status    int    `json:"status"`
+	// Batched is how many requests shared the scheduler submission; Batch is
+	// the serve-layer batch id linking this entry to KindServeBatch spans.
+	Batched int    `json:"batched,omitempty"`
+	Batch   uint64 `json:"batch,omitempty"`
+	// Start is the wall-clock admission instant; TotalUs the end-to-end
+	// latency the entry ranked by.
+	Start   time.Time   `json:"start"`
+	TotalUs int64       `json:"total_us"`
+	Phases  []SlowPhase `json:"phases,omitempty"`
+}
+
+// SlowSampler retains the N slowest observed requests by total latency — the
+// tail a latency histogram can only count. Observation is O(N) under one
+// mutex with N small (default 16), off every fast path until a request has
+// already finished.
+type SlowSampler struct {
+	mu      sync.Mutex
+	n       int
+	entries []SlowEntry
+}
+
+// NewSlowSampler builds a sampler retaining the n slowest requests.
+func NewSlowSampler(n int) *SlowSampler {
+	if n <= 0 {
+		n = 1
+	}
+	return &SlowSampler{n: n}
+}
+
+// Observe offers one finished request to the sampler.
+func (s *SlowSampler) Observe(e SlowEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) < s.n {
+		s.entries = append(s.entries, e)
+		return
+	}
+	min := 0
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i].TotalUs < s.entries[min].TotalUs {
+			min = i
+		}
+	}
+	if e.TotalUs > s.entries[min].TotalUs {
+		s.entries[min] = e
+	}
+}
+
+// Snapshot returns the retained requests, slowest first.
+func (s *SlowSampler) Snapshot() []SlowEntry {
+	s.mu.Lock()
+	out := append([]SlowEntry(nil), s.entries...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalUs != out[j].TotalUs {
+			return out[i].TotalUs > out[j].TotalUs
+		}
+		return out[i].RequestID < out[j].RequestID
+	})
+	return out
+}

@@ -65,6 +65,16 @@ func spanArgs(s Span) map[string]any {
 	case KindRPC:
 		args["op"] = s.Arg0
 		args["bytes"] = s.Arg1
+	case KindServeRequest:
+		args["status"] = s.Arg0
+		args["batched"] = s.Arg1
+	case KindServeCompile:
+		args["patterns"] = s.Arg0
+	case KindRemoteApply:
+		args["op"] = s.Arg0
+	}
+	if s.Req != 0 {
+		args["req"] = s.Req
 	}
 	if len(args) == 0 {
 		return nil
@@ -72,10 +82,37 @@ func spanArgs(s Span) map[string]any {
 	return args
 }
 
+// Process is one remote process's contribution to a stitched trace: the
+// spans a worker recorded on its own tracer, already rebased into the local
+// timeline by whoever drained them (see remoteimpl's span drain). Name is
+// the process track label, e.g. "remote worker 0 (10.0.0.7:9400)".
+type Process struct {
+	Name  string
+	Spans []Span
+}
+
+// remotePidBase keeps remote process ids clear of the local layer pids
+// (1..numLayers) with room for future layers.
+const remotePidBase = 100
+
 // WriteJSON writes the spans as a Chrome trace-event JSON document. Spans
 // should come from Tracer.Snapshot; an empty slice yields a valid trace with
 // only metadata.
 func WriteJSON(w io.Writer, spans []Span) error {
+	return WriteStitched(w, spans, nil)
+}
+
+// WriteStitched writes one Chrome trace-event JSON document combining the
+// local spans (rendered as one process per layer, exactly like WriteJSON)
+// with per-remote-process tracks: each Process becomes its own pid whose
+// threads are the worker's layer/lane pairs. Processes with the same Name
+// (the same worker drained through several pooled instances) are merged
+// into one track. Request identities survive stitching — every span's
+// args.req carries the served request id across process boundaries, so a
+// viewer (or cmd/beagletrace) can follow one request from the serve layer
+// through the client RPC span into the worker's scheduler and kernels, with
+// the wire-time gap visible between them.
+func WriteStitched(w io.Writer, local []Span, procs []Process) error {
 	type laneKey struct {
 		layer Layer
 		lane  int
@@ -84,7 +121,7 @@ func WriteJSON(w io.Writer, spans []Span) error {
 	usedLanes := map[laneKey]bool{}
 
 	var events []event
-	for _, s := range spans {
+	for _, s := range local {
 		layer := s.Kind.Layer()
 		lane := int(s.Lane)
 		if lane < 0 {
@@ -135,6 +172,69 @@ func WriteJSON(w io.Writer, spans []Span) error {
 			Name: "thread_name", Ph: "M", Pid: int(k.layer) + 1, Tid: k.lane,
 			Args: map[string]any{"name": laneName(k.layer, k.lane)},
 		})
+	}
+
+	// Remote process tracks. Spans keep their own layer/lane identity as
+	// threads within the worker's process: tid packs (layer, lane).
+	pidByName := map[string]int{}
+	var procOrder []string
+	for _, p := range procs {
+		if _, ok := pidByName[p.Name]; !ok {
+			pidByName[p.Name] = remotePidBase + len(procOrder)
+			procOrder = append(procOrder, p.Name)
+		}
+	}
+	usedProcLanes := map[string]map[laneKey]bool{}
+	for _, p := range procs {
+		pid := pidByName[p.Name]
+		for _, s := range p.Spans {
+			layer := s.Kind.Layer()
+			lane := int(s.Lane)
+			if lane < 0 {
+				lane = 0
+			}
+			if usedProcLanes[p.Name] == nil {
+				usedProcLanes[p.Name] = map[laneKey]bool{}
+			}
+			usedProcLanes[p.Name][laneKey{layer, lane}] = true
+			events = append(events, event{
+				Name: s.Kind.String(),
+				Ph:   "X",
+				Ts:   float64(s.Start) / 1e3,
+				Dur:  float64(s.Dur) / 1e3,
+				Pid:  pid,
+				Tid:  int(layer)*1024 + lane,
+				Cat:  layer.String(),
+				Args: spanArgs(s),
+			})
+		}
+	}
+	for i, name := range procOrder {
+		pid := pidByName[name]
+		meta = append(meta, event{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+		meta = append(meta, event{
+			Name: "process_sort_index", Ph: "M", Pid: pid,
+			Args: map[string]any{"sort_index": int(numLayers) + i},
+		})
+		pl := make([]laneKey, 0, len(usedProcLanes[name]))
+		for k := range usedProcLanes[name] {
+			pl = append(pl, k)
+		}
+		sort.Slice(pl, func(i, j int) bool {
+			if pl[i].layer != pl[j].layer {
+				return pl[i].layer < pl[j].layer
+			}
+			return pl[i].lane < pl[j].lane
+		})
+		for _, k := range pl {
+			meta = append(meta, event{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: int(k.layer)*1024 + k.lane,
+				Args: map[string]any{"name": k.layer.String() + " " + laneName(k.layer, k.lane)},
+			})
+		}
 	}
 
 	enc := json.NewEncoder(w)

@@ -78,6 +78,19 @@ const (
 	// execution (Lane = the remote backend's trace lane, Arg0 = the wire
 	// operation code, Arg1 = bytes moved in both directions).
 	KindRPC
+	// KindServeRequest is the full lifetime of one served request from
+	// admission to response (Arg0 = HTTP status, Arg1 = requests coalesced
+	// into its batch; Batch links it to the serve batch it merged into).
+	KindServeRequest
+	// KindServeCompile is the request-compilation phase: JSON → validated
+	// tree, compressed patterns and instance geometry (Arg0 = site patterns
+	// after compression).
+	KindServeCompile
+	// KindRemoteApply is one request executed on a worker process, recorded
+	// by the worker's own session tracer; the gap between the client's
+	// KindRPC span edges and this span is the wire + codec time
+	// (Arg0 = the wire operation code).
+	KindRemoteApply
 	numKinds
 )
 
@@ -114,6 +127,12 @@ func (k Kind) String() string {
 		return "serve wait"
 	case KindRPC:
 		return "rpc"
+	case KindServeRequest:
+		return "serve request"
+	case KindServeCompile:
+		return "serve compile"
+	case KindRemoteApply:
+		return "worker apply"
 	default:
 		return "unknown"
 	}
@@ -168,9 +187,9 @@ func (k Kind) Layer() Layer {
 		return LayerDevice
 	case KindBarrier, KindBackend, KindRebalance, KindMigrate:
 		return LayerMulti
-	case KindServeBatch, KindServeWait:
+	case KindServeBatch, KindServeWait, KindServeRequest, KindServeCompile:
 		return LayerServe
-	case KindRPC:
+	case KindRPC, KindRemoteApply:
 		return LayerNet
 	default:
 		return LayerStorage
@@ -184,7 +203,11 @@ func (k Kind) Layer() Layer {
 // Lane disambiguates parallel tracks within a layer: the worker index for
 // tasks, the backend index for multi-device spans and device queues, -1 when
 // inapplicable. Arg0/Arg1 carry kind-specific magnitudes (see the Kind
-// constants). Seq is the global record order, assigned by the tracer.
+// constants). Req is the served request the span belongs to (0 when outside
+// any request); Record fills it from the tracer's current request when the
+// caller leaves it zero, which is how engine-internal layers inherit the
+// request identity the serve layer set without being passed it explicitly.
+// Seq is the global record order, assigned by the tracer.
 type Span struct {
 	Kind  Kind
 	Lane  int32
@@ -193,6 +216,7 @@ type Span struct {
 	Dur   int64
 	Arg0  int64
 	Arg1  int64
+	Req   uint64
 	Seq   uint64
 }
 
@@ -228,6 +252,7 @@ type Tracer struct {
 	enabled atomic.Bool
 	seq     atomic.Uint64
 	batches atomic.Uint64
+	req     atomic.Uint64
 	rings   atomic.Pointer[rings]
 	epoch   time.Time
 }
@@ -270,6 +295,42 @@ func (t *Tracer) Now() int64 {
 	return int64(time.Since(t.epoch))
 }
 
+// EpochNanos returns the wall-clock instant (UnixNano) the tracer's Start
+// timeline is measured from. Exports that merge spans from tracers with
+// different epochs (the serve layer's tracer and each pooled instance's
+// tracer, or a drained worker snapshot) rebase Start by the epoch delta so
+// all spans share one timeline.
+func (t *Tracer) EpochNanos() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.epoch.UnixNano()
+}
+
+// SetRequest sets the request identity that Record stamps onto spans whose
+// Req field the caller left zero. The serve layer sets it around an engine
+// submission (and a worker session sets it from the wire frame) so every
+// scheduler, kernel and storage span records which served request it worked
+// for. Zero clears the context. Nil-safe, one atomic store.
+//
+//beagle:noalloc
+func (t *Tracer) SetRequest(id uint64) {
+	if t == nil {
+		return
+	}
+	t.req.Store(id)
+}
+
+// CurrentRequest returns the request identity set by SetRequest, 0 if none.
+//
+//beagle:noalloc
+func (t *Tracer) CurrentRequest() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.req.Load()
+}
+
 // NextBatch returns a fresh 1-based batch identifier for span grouping.
 //
 //beagle:noalloc
@@ -292,6 +353,9 @@ func (t *Tracer) Record(s Span) {
 	r := t.rings.Load()
 	if r == nil {
 		return
+	}
+	if s.Req == 0 {
+		s.Req = t.req.Load()
 	}
 	seq := t.seq.Add(1) - 1
 	sh := &r.shards[seq&(shardCount-1)]

@@ -122,8 +122,8 @@ func TestConcurrentRecordSnapshot(t *testing.T) {
 }
 
 // TestRecordPathAllocatesNothing is the AllocsPerRun guard for the exported
-// //beagle:noalloc surface: Enabled, NextBatch and Record on both the
-// enabled and the disabled path.
+// //beagle:noalloc surface: Enabled, NextBatch, Record, SetRequest and
+// CurrentRequest on both the enabled and the disabled path.
 func TestRecordPathAllocatesNothing(t *testing.T) {
 	on := New()
 	on.SetEnabled(true)
@@ -131,11 +131,13 @@ func TestRecordPathAllocatesNothing(t *testing.T) {
 	span := Span{Kind: KindKernel, Lane: 1, Batch: 3, Start: 100, Dur: 50, Arg0: 4096}
 	for name, tr := range map[string]*Tracer{"enabled": on, "disabled": off} {
 		allocs := testing.AllocsPerRun(1000, func() {
+			tr.SetRequest(42)
 			if tr.Enabled() {
 				tr.Record(span)
 			}
 			tr.Record(span)
 			tr.NextBatch()
+			tr.SetRequest(tr.CurrentRequest() - tr.CurrentRequest())
 		})
 		if allocs != 0 {
 			t.Errorf("%s record path allocates %.1f per run, want 0", name, allocs)

@@ -1,8 +1,11 @@
 package gobeagle
 
 import (
+	"fmt"
 	"io"
 
+	"gobeagle/internal/multiimpl"
+	"gobeagle/internal/remoteimpl"
 	"gobeagle/internal/trace"
 )
 
@@ -34,13 +37,65 @@ func (in *Instance) ResetTrace() { in.tr.Reset() }
 // TraceSpanCount returns the number of currently retained spans.
 func (in *Instance) TraceSpanCount() int { return len(in.tr.Snapshot()) }
 
+// TraceSpans returns the retained spans in record order — the raw form of
+// TraceJSON, for callers (the serve layer's stitched export) that compose
+// several instances' spans into one document.
+func (in *Instance) TraceSpans() []trace.Span { return in.tr.Snapshot() }
+
+// TraceEpochNanos returns the wall-clock instant (UnixNano) this instance's
+// span timeline starts at, for rebasing its spans onto another timeline.
+func (in *Instance) TraceEpochNanos() int64 { return in.tr.EpochNanos() }
+
+// SetTraceRequest tags subsequently recorded spans — across every layer of
+// this instance, and across the wire into worker processes — with a served
+// request identity. Zero clears the tag. The serve layer brackets each
+// engine submission with this so a stitched trace can follow one request
+// from admission to worker kernels. One atomic store; safe when tracing is
+// off or the instance was built without FlagTrace.
+func (in *Instance) SetTraceRequest(id uint64) { in.tr.SetRequest(id) }
+
 // TraceJSON writes the retained spans as a Chrome trace-event JSON document.
 // Processes group spans by layer (scheduler, workers, device, multi-device,
-// storage) and threads carry lanes (worker index, backend index). Note the
+// storage, network) and threads carry lanes (worker index, backend index).
+// For distributed instances the export is stitched: each remote worker's
+// engine-side spans are drained over the wire, rebased into this instance's
+// timeline using the drain round trip's clock midpoint, and rendered as a
+// separate "remote worker N (addr)" process track, so wire-time gaps appear
+// between the client's rpc spans and the worker's apply spans. Note the
 // device process is stamped on the modeled device clock, which starts at
 // zero — its spans align with each other, not with host-side spans.
 func (in *Instance) TraceJSON(w io.Writer) error {
-	return trace.WriteJSON(w, in.tr.Snapshot())
+	return trace.WriteStitched(w, in.tr.Snapshot(), in.RemoteTraceProcesses())
+}
+
+// RemoteTraceProcesses drains the engine-side spans each remote worker
+// recorded for this instance's traced calls, rebased into this instance's
+// span timeline and grouped per worker process. It returns nil for local
+// instances, when tracing is off, or when the workers predate the span
+// drain protocol. Draining clears the worker-side buffers, so each call
+// returns only spans recorded since the previous drain.
+func (in *Instance) RemoteTraceProcesses() []trace.Process {
+	me, ok := in.eng.(*multiimpl.Engine)
+	if !ok {
+		return nil
+	}
+	var procs []trace.Process
+	idx := 0
+	for _, sub := range me.Backends() {
+		re, ok := sub.(*remoteimpl.Engine)
+		if !ok {
+			continue
+		}
+		spans, err := re.DrainSpans()
+		if err == nil && len(spans) > 0 {
+			procs = append(procs, trace.Process{
+				Name:  fmt.Sprintf("remote worker %d (%s)", idx, re.Addr()),
+				Spans: spans,
+			})
+		}
+		idx++
+	}
+	return procs
 }
 
 // newInstanceTracer builds the tracer every instance carries: always present
